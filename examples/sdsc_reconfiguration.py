@@ -1,0 +1,63 @@
+"""SDSC case study: surviving a major system reconfiguration.
+
+The SDSC system was reconfigured between weeks 60 and 64, rewriting its
+failure patterns; the paper shows accuracy dipping more than 10 % and
+recovering after a few retrainings, with an outsized spike in rule churn.
+This example reproduces that episode and prints the rule-churn series of
+Figure 12 around it.
+
+Run with::
+
+    python examples/sdsc_reconfiguration.py
+"""
+
+from repro import (
+    DynamicMetaLearningFramework,
+    FrameworkConfig,
+    GeneratorConfig,
+    SDSC_PROFILE,
+    generate_log,
+)
+from repro.evaluation import rolling_metrics
+
+
+def main() -> None:
+    trace = generate_log(
+        SDSC_PROFILE, GeneratorConfig(seed=2008, duplicates=False)
+    )
+    reconfig = next(
+        a for a in SDSC_PROFILE.anomalies if a.kind == "reconfig"
+    )
+    print(
+        f"SDSC trace: {len(trace.clean)} events, {trace.n_fatal} failures; "
+        f"reconfiguration at weeks {reconfig.start_week}-{reconfig.end_week}"
+    )
+
+    # More frequent retraining (WR=2) recovers faster after the change.
+    results = {}
+    for wr in (2, 8):
+        config = FrameworkConfig(retrain_weeks=wr)
+        results[wr] = DynamicMetaLearningFramework(
+            config, catalog=trace.catalog
+        ).run(trace.clean)
+
+    print("\nweekly precision around the reconfiguration (4-week smoothed):")
+    print("week   WR=2   WR=8")
+    series = {wr: rolling_metrics(r.weekly, 4) for wr, r in results.items()}
+    for a, b in zip(series[2], series[8]):
+        if 50 <= a.week <= 96 and a.week % 4 == 0:
+            marker = "  <- reconfiguration" if 60 <= a.week < 64 else ""
+            print(f"{a.week:4d}  {a.precision:5.2f}  {b.precision:5.2f}{marker}")
+
+    print("\nrule churn per retraining (WR=2), Figure 12 style:")
+    print("week  unchanged  added  removed(meta)  removed(reviser)")
+    for rec in results[2].churn.records:
+        if 52 <= rec.week <= 92:
+            print(
+                f"{rec.week:4d}  {rec.unchanged:9d}  {rec.added:5d}"
+                f"  {rec.removed_by_meta:13d}  {rec.removed_by_reviser:16d}"
+            )
+
+
+if __name__ == "__main__":
+    main()

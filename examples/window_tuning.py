@@ -1,0 +1,60 @@
+"""Adaptive prediction-window tuning (the paper's Section 7 future work).
+
+The prediction window trades recall against precision and cost
+(Figure 13).  Instead of fixing `Wp`, this example lets the
+:class:`~repro.core.adaptive.AdaptiveWindowFramework` re-tune it at every
+retraining: candidate windows are scored on a validation split of the
+training data, and the smallest near-best window wins.
+
+Run with::
+
+    python examples/window_tuning.py
+"""
+
+from repro import (
+    FrameworkConfig,
+    GeneratorConfig,
+    SDSC_PROFILE,
+    generate_log,
+)
+from repro.core import DynamicMetaLearningFramework
+from repro.core.adaptive import AdaptiveWindowFramework, AdaptiveWindowTuner
+from repro.evaluation import compare_runs
+
+
+def main() -> None:
+    trace = generate_log(
+        SDSC_PROFILE, GeneratorConfig(weeks=72, seed=2008, duplicates=False)
+    )
+    catalog = trace.catalog
+
+    runs = {}
+    for label, window in (("fixed 5min", 300.0), ("fixed 2hr", 7200.0)):
+        config = FrameworkConfig(prediction_window=window)
+        runs[label] = DynamicMetaLearningFramework(
+            config, catalog=catalog
+        ).run(trace.clean)
+
+    adaptive = AdaptiveWindowFramework(
+        FrameworkConfig(),
+        catalog=catalog,
+        tuner=AdaptiveWindowTuner(candidates=(300.0, 1800.0, 7200.0)),
+    )
+    runs["adaptive"] = adaptive.run(trace.clean)
+
+    print(compare_runs(runs, title="Fixed vs adaptive prediction windows").render())
+
+    print("\ntuning decisions per retraining:")
+    for decision in adaptive.decisions:
+        scores = ", ".join(
+            f"{w / 60:.0f}min:f1={f1:.2f}"
+            for w, (_, _, f1) in sorted(decision.scores.items())
+        )
+        print(
+            f"  week {decision.week:3d}: chose {decision.chosen / 60:.0f}min"
+            f"  ({scores})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""One-shot substrate health report for the bench seed.
+
+Prints every quantity the figure benches assert on, so generator tuning
+can be evaluated with a single run.
+"""
+
+import sys
+
+from repro.core import (
+    DynamicMetaLearningFramework,
+    FrameworkConfig,
+    dynamic_months,
+    dynamic_whole,
+    static_initial,
+)
+from repro.evaluation import mean_accuracy, rolling_metrics
+from repro.experiments import figure8, q1_meta, q3_window
+from repro.experiments.config import clear_cache, make_log
+
+SEED = int(sys.argv[1]) if len(sys.argv) > 1 else 2008
+
+
+def f1(p, r):
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def main() -> None:
+    clear_cache()
+    syn = make_log("SDSC", seed=SEED)
+    log, cat = syn.clean, syn.catalog
+    print(f"== seed {SEED}: {len(log)} events, {syn.n_fatal} fatal ==")
+
+    # fig7: per-method static runs
+    print("-- fig7 (static, per method) --")
+    _, results = q1_meta.run("SDSC", seed=SEED)
+    rec, prec = {}, {}
+    for m, r in results.items():
+        prec[m], rec[m] = mean_accuracy(r.weekly)
+        print(f"  {m:12s} p={prec[m]:.2f} r={rec[m]:.2f}")
+    sm = rolling_metrics(results["meta"].weekly, 6)
+    early = sum(w.recall for w in sm[:10]) / 10
+    late = sum(w.recall for w in sm[-10:]) / 10
+    print(f"  meta static recall early10={early:.2f} late10={late:.2f}")
+
+    # fig8
+    _, venn = figure8.run("SDSC", seed=SEED, span=(44, 48))
+    print("-- fig8 --")
+    print("  cov:", {n: round(venn.coverage_fraction(n), 3) for n in venn.names},
+          "multi:", venn.multi_captured, "uncaptured:", venn.uncaptured)
+
+    # fig9/10/12: policies and churn
+    print("-- fig9/10/12 --")
+    runs = {}
+    for name, pol in [
+        ("dyn6", dynamic_months(6)),
+        ("static", static_initial(6)),
+        ("whole", dynamic_whole()),
+    ]:
+        runs[name] = DynamicMetaLearningFramework(
+            FrameworkConfig(policy=pol), catalog=cat
+        ).run(log)
+    n = len(runs["dyn6"].weekly)
+    for name, res in runs.items():
+        p, r = mean_accuracy(res.weekly)
+        lp, lr = mean_accuracy(res.weekly[n // 2 :])
+        print(f"  {name:7s} p={p:.2f} r={r:.2f} | late p={lp:.2f} r={lr:.2f} f1={f1(lp, lr):.2f}")
+    smo = rolling_metrics(runs["dyn6"].weekly, 4)
+
+    def band(w0, w1, metric):
+        pts = [getattr(m, metric) for m in smo if w0 <= m.week < w1]
+        return sum(pts) / len(pts)
+
+    for metric in ("precision", "recall"):
+        print(
+            f"  dyn6 {metric}: before(46-60)={band(46, 60, metric):.2f} "
+            f"during(62-72)={band(62, 72, metric):.2f} after(84-110)={band(84, 110, metric):.2f}"
+        )
+    records = runs["dyn6"].churn.records
+    print("  max active rules:", max(r.total_active for r in records))
+    churn = [r.added + r.removed_by_meta for r in records[2:]]
+    spike = max(
+        r.added + r.removed_by_meta for r in records if 62 <= r.week <= 74
+    )
+    print("  median churn:", sorted(churn)[len(churn) // 2], "reconfig spike:", spike)
+
+    # fig13
+    t13, _ = q3_window.run("SDSC", seed=SEED, windows=(300.0, 1800.0, 7200.0))
+    print("-- fig13 --")
+    print("  recall:", t13.column("recall"), "precision:", t13.column("precision"))
+
+
+if __name__ == "__main__":
+    main()

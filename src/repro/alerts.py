@@ -1,0 +1,39 @@
+"""Failure warnings — the output datatype of the prediction engine.
+
+Lives at the package top level because it is shared by the producer side
+(:mod:`repro.core.predictor`) and the consumer side
+(:mod:`repro.evaluation`), which otherwise form a strict dependency
+layering (core depends on evaluation, never the reverse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.learners.rules import RuleKey
+
+
+@dataclass(frozen=True, slots=True)
+class FailureWarning:
+    """A prediction: failure ``predicted`` within ``window`` after ``time``.
+
+    ``predicted`` is a catalog fatal-type code, or
+    :data:`repro.learners.rules.ANY_FAILURE` for untyped forecasts.
+    ``rule_key`` and ``learner`` carry provenance for per-rule scoring
+    (the reviser) and per-learner analysis (the Figure 8 Venn diagram).
+    """
+
+    time: float
+    predicted: str
+    window: float
+    rule_key: RuleKey
+    learner: str
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"warning window must be positive, got {self.window}")
+
+    @property
+    def deadline(self) -> float:
+        """Latest time the predicted failure may occur and still count."""
+        return self.time + self.window

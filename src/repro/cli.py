@@ -1,0 +1,265 @@
+"""Command-line interface.
+
+Five subcommands cover the operational lifecycle::
+
+    repro generate    # synthesize a Blue Gene/L trace (LogHub format)
+    repro preprocess  # categorize + filter a raw log
+    repro train       # mine + revise rules, write them as JSON
+    repro predict     # replay a log against a rule file
+    repro run         # full dynamic train-and-predict loop
+    repro experiment  # regenerate a paper table/figure
+
+All commands exchange logs in the LogHub BGL line format and rules in the
+JSON schema of :mod:`repro.core.serialization`, so each stage can be
+inspected and swapped independently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.framework import DynamicMetaLearningFramework, FrameworkConfig
+from repro.core.knowledge import RuleRecord
+from repro.core.meta import MetaLearner
+from repro.core.predictor import Predictor
+from repro.core.reviser import Reviser
+from repro.core.serialization import dump_repository, load_repository
+from repro.core.windows import dynamic_months, static_initial
+from repro.evaluation.matching import extract_failures, match_warnings
+from repro.evaluation.timeline import rolling_metrics
+from repro.preprocess.pipeline import PreprocessingPipeline
+from repro.raslog.catalog import default_catalog
+from repro.raslog.generator import GeneratorConfig, generate_log
+from repro.raslog.parser import ParseReport, dump_log, load_log
+from repro.raslog.profiles import PROFILES, get_profile
+from repro.utils.tables import TableResult
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    profile = get_profile(args.system)
+    config = GeneratorConfig(
+        scale=args.scale,
+        weeks=args.weeks,
+        seed=args.seed,
+        duplicates=not args.clean,
+    )
+    trace = generate_log(profile, config)
+    log = trace.clean if args.clean else trace.raw
+    assert log is not None
+    n = dump_log(log, args.output)
+    kind = "clean (categorized)" if args.clean else "raw (duplicated)"
+    print(
+        f"wrote {n} {kind} records over {log.n_weeks} weeks "
+        f"({trace.n_fatal} failures) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_preprocess(args: argparse.Namespace) -> int:
+    report = ParseReport()
+    raw = load_log(args.input, report=report)
+    pipeline = PreprocessingPipeline(threshold=args.threshold)
+    result = pipeline.run(raw)
+    dump_log(result.clean, args.output)
+    print(
+        f"parsed {report.parsed} records ({report.skipped} skipped); "
+        f"categorized {result.categorization.matched} "
+        f"({result.categorization.demoted_fatals} fake fatals demoted); "
+        f"filtered to {len(result.clean)} events "
+        f"({result.compression_rate:.1%} compression) -> {args.output}"
+    )
+    return 0
+
+
+def _prepare_log(path: str):
+    log = load_log(path)
+    pipeline = PreprocessingPipeline()
+    return pipeline.run(log).clean.with_origin(log.origin)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    log = _prepare_log(args.input)
+    catalog = default_catalog()
+    meta = MetaLearner(catalog=catalog)
+    output = meta.train(log, args.window)
+    candidates = output.records()
+    if args.no_reviser:
+        kept: list[RuleRecord] = candidates
+        removed = 0
+    else:
+        revision = Reviser(catalog=catalog).revise(candidates, log, args.window)
+        kept = revision.kept
+        removed = len(revision.removed)
+    from repro.core.knowledge import KnowledgeRepository
+
+    repo = KnowledgeRepository(kept)
+    dump_repository(repo, args.output)
+    print(
+        f"trained on {len(log)} events: {len(candidates)} candidate rules, "
+        f"{removed} removed by the reviser, {len(kept)} written to {args.output}"
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    log = _prepare_log(args.input)
+    repo = load_repository(args.rules)
+    catalog = default_catalog()
+    predictor = Predictor(repo.rules(), window=args.window, catalog=catalog)
+    if len(log):
+        predictor.state.clock = float(log.timestamps[0]) - 1.0
+    warnings = predictor.replay(log)
+    fatal_times, fatal_codes = extract_failures(log, catalog)
+    result = match_warnings(warnings, fatal_times, fatal_codes)
+    print(
+        f"replayed {len(log)} events against {len(repo)} rules: "
+        f"{len(warnings)} warnings, {result.true_positives} correct; "
+        f"covered {result.covered_failures}/{result.n_fatal} failures"
+    )
+    if args.verbose:
+        for w in warnings[: args.max_warnings]:
+            print(
+                f"  t={w.time:12.0f}  {w.learner:13s} -> {w.predicted} "
+                f"(within {w.window:.0f}s)"
+            )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    log = _prepare_log(args.input)
+    policy = (
+        static_initial(args.train_months)
+        if args.static
+        else dynamic_months(args.train_months)
+    )
+    config = FrameworkConfig(
+        prediction_window=args.window,
+        retrain_weeks=args.retrain_weeks,
+        policy=policy,
+        initial_train_weeks=args.initial_weeks,
+        use_reviser=not args.no_reviser,
+    )
+    framework = DynamicMetaLearningFramework(config)
+    result = framework.run(log)
+    print(
+        f"{'static' if args.static else 'dynamic'} run over weeks "
+        f"{result.start_week}-{result.end_week}: "
+        f"precision={result.overall.precision:.3f} "
+        f"recall={result.overall.recall:.3f} "
+        f"({len(result.warnings)} warnings, {len(result.retrains)} retrainings)"
+    )
+    table = TableResult(
+        title="weekly accuracy (4-week smoothed)",
+        columns=["week", "precision", "recall", "warnings", "failures"],
+    )
+    for wm in rolling_metrics(result.weekly, 4):
+        table.add_row(
+            week=wm.week,
+            precision=round(wm.precision, 3),
+            recall=round(wm.recall, 3),
+            warnings=wm.n_warnings,
+            failures=wm.n_fatal,
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    driver = getattr(experiments, args.name, None)
+    if driver is None or not hasattr(driver, "run"):
+        available = [
+            name
+            for name in dir(experiments)
+            if hasattr(getattr(experiments, name), "run")
+        ]
+        print(
+            f"unknown experiment {args.name!r}; available: {available}",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {}
+    if args.name != "table3":
+        kwargs["seed"] = args.seed
+        if args.name not in ("table2",):
+            kwargs["system"] = args.system
+    result = driver.run(**kwargs)
+    tables = result if isinstance(result, tuple) else (result,)
+    for item in tables:
+        if isinstance(item, TableResult):
+            print(item.render())
+            print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic meta-learning failure prediction (ICPP'08 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="synthesize a Blue Gene/L RAS trace")
+    g.add_argument("--system", default="SDSC", choices=sorted(PROFILES))
+    g.add_argument("--scale", type=float, default=0.05)
+    g.add_argument("--weeks", type=int, default=None)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument(
+        "--clean",
+        action="store_true",
+        help="write the logical (categorized) stream instead of the raw dump",
+    )
+    g.add_argument("--output", required=True)
+    g.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("preprocess", help="categorize and filter a raw log")
+    p.add_argument("input")
+    p.add_argument("--threshold", type=float, default=300.0)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=_cmd_preprocess)
+
+    t = sub.add_parser("train", help="mine and revise rules from a log")
+    t.add_argument("input")
+    t.add_argument("--window", type=float, default=300.0)
+    t.add_argument("--no-reviser", action="store_true")
+    t.add_argument("--output", required=True)
+    t.set_defaults(func=_cmd_train)
+
+    pr = sub.add_parser("predict", help="replay a log against a rule file")
+    pr.add_argument("input")
+    pr.add_argument("--rules", required=True)
+    pr.add_argument("--window", type=float, default=300.0)
+    pr.add_argument("--verbose", action="store_true")
+    pr.add_argument("--max-warnings", type=int, default=20)
+    pr.set_defaults(func=_cmd_predict)
+
+    r = sub.add_parser("run", help="full dynamic train-and-predict loop")
+    r.add_argument("input")
+    r.add_argument("--window", type=float, default=300.0)
+    r.add_argument("--retrain-weeks", type=int, default=4)
+    r.add_argument("--train-months", type=int, default=6)
+    r.add_argument("--initial-weeks", type=int, default=26)
+    r.add_argument("--static", action="store_true")
+    r.add_argument("--no-reviser", action="store_true")
+    r.set_defaults(func=_cmd_run)
+
+    e = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    e.add_argument("name", help="driver name, e.g. table4 or q3_window")
+    e.add_argument("--system", default="SDSC", choices=sorted(PROFILES))
+    e.add_argument("--seed", type=int, default=2008)
+    e.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,316 @@
+"""The dynamic meta-learning framework (Figure 1, right half).
+
+Orchestrates the full loop of the paper: every ``WR`` weeks (the
+retraining window) the meta-learner re-trains the base learners on the
+training set chosen by the window policy, the reviser filters the
+candidate rules by ROC analysis, the knowledge repository is swapped to
+the surviving rules (with churn recorded for Figure 12), and the
+event-driven predictor keeps monitoring the stream, emitting warnings
+whenever a rule matches within the prediction window ``Wp``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.knowledge import KnowledgeRepository
+from repro.core.meta import MetaLearner
+from repro.core.predictor import ENSEMBLE_POLICIES, FailureWarning, Predictor
+from repro.core.reviser import Reviser
+from repro.core.tracking import ChurnHistory, ChurnRecord, diff_rule_sets
+from repro.core.windows import TrainingPolicy, dynamic_months
+from repro.evaluation.matching import extract_failures, match_warnings
+from repro.evaluation.metrics import PrecisionRecall
+from repro.evaluation.timeline import WeeklyMetrics
+from repro.learners.registry import DEFAULT_LEARNERS
+from repro.parallel.executor import Executor
+from repro.raslog.catalog import EventCatalog, default_catalog
+from repro.raslog.store import EventLog
+from repro.utils.timeutil import WEEK_SECONDS
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """All knobs of the framework, with the paper's defaults."""
+
+    #: Prediction window ``Wp`` (= rule-generation window), seconds.
+    prediction_window: float = 300.0
+    #: Retraining window ``WR``, weeks.
+    retrain_weeks: int = 4
+    #: Training-set policy (paper default: most recent six months).
+    policy: TrainingPolicy = field(default_factory=dynamic_months)
+    #: Weeks of data accumulated before predictions start.
+    initial_train_weeks: int = 26
+    #: Whether the reviser filters candidate rules (Figure 11's ablation).
+    use_reviser: bool = True
+    min_roc: float = 0.7
+    #: Expert-combination policy of the predictor.
+    ensemble: str = "experts"
+    #: Deployment-timer period for the time-triggered expert, seconds.
+    tick: float | None = 60.0
+    #: Cap on the distribution expert's warning horizon, seconds.
+    dist_horizon_cap: float = 43200.0
+    #: Base learners by registry name, in mixture-of-experts order.
+    learners: tuple[str, ...] = DEFAULT_LEARNERS
+    #: Extra constructor arguments per learner name.
+    learner_params: dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.prediction_window <= 0:
+            raise ValueError("prediction_window must be positive")
+        if self.retrain_weeks < 1:
+            raise ValueError("retrain_weeks must be >= 1")
+        if self.initial_train_weeks < 1:
+            raise ValueError("initial_train_weeks must be >= 1")
+        if self.ensemble not in ENSEMBLE_POLICIES:
+            raise ValueError(f"ensemble must be one of {ENSEMBLE_POLICIES}")
+        if not self.learners:
+            raise ValueError("need at least one learner")
+
+    def with_(self, **changes) -> "FrameworkConfig":
+        """Functional update helper for experiment sweeps."""
+        return replace(self, **changes)
+
+
+@dataclass
+class RetrainEvent:
+    """Telemetry of one retraining round."""
+
+    week: int
+    train_span: tuple[int, int]
+    n_candidates: int
+    n_kept: int
+    churn: ChurnRecord
+    generation_seconds: float
+    revise_seconds: float
+
+
+@dataclass
+class RunResult:
+    """Everything a framework run produces."""
+
+    config: FrameworkConfig
+    warnings: list[FailureWarning]
+    weekly: list[WeeklyMetrics]
+    churn: ChurnHistory
+    retrains: list[RetrainEvent]
+    overall: PrecisionRecall
+    start_week: int
+    end_week: int
+
+    def series(self, metric: str) -> tuple[list[int], list[float]]:
+        """(weeks, values) of ``"precision"`` or ``"recall"``."""
+        if metric not in ("precision", "recall"):
+            raise ValueError(f"metric must be precision or recall, got {metric!r}")
+        return (
+            [w.week for w in self.weekly],
+            [getattr(w, metric) for w in self.weekly],
+        )
+
+
+class DynamicMetaLearningFramework:
+    """Top-level entry point reproducing the paper's prediction engine."""
+
+    def __init__(
+        self,
+        config: FrameworkConfig | None = None,
+        catalog: EventCatalog | None = None,
+        executor: Executor | None = None,
+    ) -> None:
+        self.config = config or FrameworkConfig()
+        self.catalog = catalog or default_catalog()
+        self.meta = MetaLearner(
+            learners=self.config.learners,
+            catalog=self.catalog,
+            executor=executor,
+            learner_params=self.config.learner_params,
+        )
+        self.reviser = Reviser(
+            min_roc=self.config.min_roc,
+            catalog=self.catalog,
+            tick=self.config.tick,
+            dist_horizon_cap=self.config.dist_horizon_cap,
+        )
+        self.repository = KnowledgeRepository()
+        #: The active prediction window; subclasses (adaptive tuning) may
+        #: change it between retrainings.
+        self._window = self.config.prediction_window
+
+    @property
+    def prediction_window(self) -> float:
+        """The currently active prediction window ``Wp``."""
+        return self._window
+
+    # -- retraining --------------------------------------------------------
+
+    def _retrain(self, log: EventLog, week: int) -> RetrainEvent:
+        cfg = self.config
+        w0, w1 = cfg.policy.window(week)
+        train_log = log.slice_weeks(w0, w1)
+
+        t0 = time.perf_counter()
+        output = self.meta.train(train_log, self._window, week=week)
+        generation_seconds = time.perf_counter() - t0
+        candidates = output.records()
+        candidate_keys = {r.key for r in candidates}
+
+        t0 = time.perf_counter()
+        if cfg.use_reviser:
+            revision = self.reviser.revise(
+                candidates, train_log, self._window
+            )
+            kept = revision.kept
+            removed_keys = revision.removed_keys
+        else:
+            kept = candidates
+            removed_keys = set()
+        revise_seconds = time.perf_counter() - t0
+
+        churn = diff_rule_sets(
+            week, self.repository.keys(), candidate_keys, removed_keys
+        )
+        self.repository.replace_all(kept)
+        return RetrainEvent(
+            week=week,
+            train_span=(w0, w1),
+            n_candidates=len(candidates),
+            n_kept=len(kept),
+            churn=churn,
+            generation_seconds=generation_seconds,
+            revise_seconds=revise_seconds,
+        )
+
+    def _rule_weights(self) -> dict:
+        """Per-rule training precision (m1), the weighted policy's input."""
+        weights = {}
+        for record in self.repository.records():
+            fired = record.tp + record.fp
+            if fired:
+                weights[record.key] = record.tp / fired
+        return weights
+
+    def _should_retrain(self, week: int, start_week: int) -> bool:
+        if week == start_week:
+            return True  # initial training
+        if not self.config.policy.retrains:
+            return False
+        return (week - start_week) % self.config.retrain_weeks == 0
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(
+        self,
+        log: EventLog,
+        start_week: int | None = None,
+        end_week: int | None = None,
+    ) -> RunResult:
+        """Train-and-predict over ``log``.
+
+        Weeks before ``start_week`` (default: the configured initial
+        training period) are training-only; prediction and evaluation run
+        from ``start_week`` to ``end_week`` (default: end of log).
+        """
+        cfg = self.config
+        start = cfg.initial_train_weeks if start_week is None else start_week
+        end = log.n_weeks if end_week is None else end_week
+        if start < 1:
+            raise ValueError(f"start_week must be >= 1, got {start}")
+        if end <= start:
+            raise ValueError(
+                f"nothing to evaluate: end_week {end} <= start_week {start}"
+            )
+
+        warnings: list[FailureWarning] = []
+        churn = ChurnHistory()
+        retrains: list[RetrainEvent] = []
+        predictor: Predictor | None = None
+
+        for week in range(start, end):
+            if self._should_retrain(week, start):
+                event = self._retrain(log, week)
+                retrains.append(event)
+                churn.append(event.churn)
+                predictor = None
+            if predictor is None:
+                predictor = Predictor(
+                    self.repository.rules(),
+                    window=self._window,
+                    catalog=self.catalog,
+                    ensemble=cfg.ensemble,
+                    dist_horizon_cap=cfg.dist_horizon_cap,
+                    rule_weights=self._rule_weights(),
+                )
+                # Anchor the fresh predictor's clock at the week boundary
+                # so replay does not reject the first event.
+                predictor.state.clock = log.origin + week * WEEK_SECONDS
+            warnings.extend(predictor.replay(log.week(week), tick=cfg.tick))
+
+        weekly, overall = self._evaluate(log, warnings, start, end)
+        return RunResult(
+            config=cfg,
+            warnings=warnings,
+            weekly=weekly,
+            churn=churn,
+            retrains=retrains,
+            overall=overall,
+            start_week=start,
+            end_week=end,
+        )
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _evaluate(
+        self,
+        log: EventLog,
+        warnings: list[FailureWarning],
+        start_week: int,
+        end_week: int,
+    ) -> tuple[list[WeeklyMetrics], PrecisionRecall]:
+        fatal_times, fatal_codes = extract_failures(log, self.catalog)
+        result = match_warnings(warnings, fatal_times, fatal_codes)
+
+        def week_of(t: float) -> int:
+            return int((t - log.origin) // WEEK_SECONDS)
+
+        weekly: list[WeeklyMetrics] = []
+        per_week_tp = {w: 0 for w in range(start_week, end_week)}
+        per_week_fp = dict(per_week_tp)
+        per_week_fn = dict(per_week_tp)
+        per_week_warn = dict(per_week_tp)
+        per_week_fatal = dict(per_week_tp)
+
+        for i, w in enumerate(warnings):
+            wk = week_of(w.time)
+            if wk not in per_week_tp:
+                continue
+            per_week_warn[wk] += 1
+            if result.matched[i]:
+                per_week_tp[wk] += 1
+            else:
+                per_week_fp[wk] += 1
+        for j, t in enumerate(fatal_times):
+            wk = week_of(float(t))
+            if wk not in per_week_fn:
+                continue
+            per_week_fatal[wk] += 1
+            if not result.covered[j]:
+                per_week_fn[wk] += 1
+
+        for wk in range(start_week, end_week):
+            weekly.append(
+                WeeklyMetrics(
+                    week=wk,
+                    counts=PrecisionRecall(
+                        tp=per_week_tp[wk], fp=per_week_fp[wk], fn=per_week_fn[wk]
+                    ),
+                    n_warnings=per_week_warn[wk],
+                    n_fatal=per_week_fatal[wk],
+                )
+            )
+        overall = PrecisionRecall(
+            tp=sum(per_week_tp.values()),
+            fp=sum(per_week_fp.values()),
+            fn=sum(per_week_fn.values()),
+        )
+        return weekly, overall

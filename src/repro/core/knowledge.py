@@ -1,0 +1,88 @@
+"""Knowledge repository (Figure 1).
+
+Stores the learned rules of failure patterns together with their
+provenance (which base learner produced them, at which retraining, with
+what training-set scores).  The repository is versioned by retraining
+round, so the rule-churn accounting of Figure 12 falls out of a diff
+between consecutive versions (:mod:`repro.core.tracking`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, replace
+
+from repro.learners.rules import Rule, RuleKey, rule_sort_key
+
+
+@dataclass(frozen=True, slots=True)
+class RuleRecord:
+    """One rule plus its provenance."""
+
+    rule: Rule
+    learner: str
+    trained_at_week: int
+    #: Algorithm 1 scores on the training set, filled by the reviser.
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    roc: float = 0.0
+
+    @property
+    def key(self) -> RuleKey:
+        return self.rule.key
+
+    def with_scores(self, tp: int, fp: int, fn: int, roc: float) -> "RuleRecord":
+        return replace(self, tp=tp, fp=fp, fn=fn, roc=roc)
+
+
+class KnowledgeRepository:
+    """The current rule set, keyed by rule identity."""
+
+    def __init__(self, records: Iterable[RuleRecord] = ()) -> None:
+        self._records: dict[RuleKey, RuleRecord] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: RuleRecord) -> None:
+        if record.key in self._records:
+            raise ValueError(f"duplicate rule key {record.key!r}")
+        self._records[record.key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: RuleKey) -> bool:
+        return key in self._records
+
+    def __iter__(self) -> Iterator[RuleRecord]:
+        return iter(self.records())
+
+    def get(self, key: RuleKey) -> RuleRecord:
+        try:
+            return self._records[key]
+        except KeyError:
+            raise KeyError(f"no rule with key {key!r}") from None
+
+    def records(self) -> list[RuleRecord]:
+        return sorted(self._records.values(), key=lambda r: rule_sort_key(r.rule))
+
+    def rules(self) -> list[Rule]:
+        return [r.rule for r in self.records()]
+
+    def keys(self) -> set[RuleKey]:
+        return set(self._records)
+
+    def by_learner(self, learner: str) -> list[RuleRecord]:
+        return [r for r in self.records() if r.learner == learner]
+
+    def replace_all(self, records: Iterable[RuleRecord]) -> None:
+        self._records.clear()
+        for record in records:
+            self.add(record)
+
+    def snapshot(self) -> "KnowledgeRepository":
+        """Independent copy (records are immutable, so this is shallow)."""
+        copy = KnowledgeRepository()
+        copy._records = dict(self._records)
+        return copy

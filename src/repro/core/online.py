@@ -1,0 +1,253 @@
+"""Online (streaming) operation of the dynamic meta-learning framework.
+
+:class:`~repro.core.framework.DynamicMetaLearningFramework` replays a
+complete log; a deployment instead *streams* events as the CMCS reports
+them.  :class:`OnlinePredictionSession` is that mode: feed events one at
+a time with :meth:`ingest`, receive warnings back, and retraining fires
+automatically whenever the stream crosses a retraining boundary — using
+exactly the same training-window policy, meta-learner and reviser as the
+batch framework, so a streamed trace produces the same warnings as a
+batch run over the same events (covered by the equivalence tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alerts import FailureWarning
+from repro.core.framework import FrameworkConfig, RetrainEvent
+from repro.core.knowledge import KnowledgeRepository
+from repro.core.meta import MetaLearner
+from repro.core.predictor import Predictor
+from repro.core.reviser import Reviser
+from repro.core.tracking import ChurnHistory, diff_rule_sets
+from repro.evaluation.matching import MatchResult, match_warnings
+from repro.parallel.executor import Executor
+from repro.raslog.catalog import EventCatalog, default_catalog
+from repro.raslog.events import RASEvent
+from repro.raslog.store import EventLog
+from repro.utils.timeutil import WEEK_SECONDS
+
+
+@dataclass
+class SessionSummary:
+    """Accounting of a finished (or in-flight) session.
+
+    ``precision``/``recall`` follow the paper's Section 5.1 formulas
+    (true positives are correct *predictions*, false negatives are missed
+    *failures*), matching
+    :attr:`repro.core.framework.RunResult.overall`; the full
+    :class:`MatchResult` is attached for coverage-based analysis.
+    """
+
+    n_events: int
+    n_fatal: int
+    n_warnings: int
+    matching: MatchResult
+    retrains: list[RetrainEvent] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        denom = self.matching.true_positives + self.matching.false_positives
+        return self.matching.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.matching.true_positives + self.matching.false_negatives
+        return self.matching.true_positives / denom if denom else 0.0
+
+
+class OnlinePredictionSession:
+    """Event-at-a-time interface to the prediction engine.
+
+    ``origin`` anchors week arithmetic (events must not precede it).
+    Predictions start once ``config.initial_train_weeks`` of data have
+    streamed in; before that, :meth:`ingest` buffers silently.
+    """
+
+    def __init__(
+        self,
+        config: FrameworkConfig | None = None,
+        catalog: EventCatalog | None = None,
+        executor: Executor | None = None,
+        origin: float = 0.0,
+    ) -> None:
+        self.config = config or FrameworkConfig()
+        self.catalog = catalog or default_catalog()
+        self.origin = float(origin)
+        self.meta = MetaLearner(
+            learners=self.config.learners,
+            catalog=self.catalog,
+            executor=executor,
+            learner_params=self.config.learner_params,
+        )
+        self.reviser = Reviser(
+            min_roc=self.config.min_roc,
+            catalog=self.catalog,
+            tick=self.config.tick,
+            dist_horizon_cap=self.config.dist_horizon_cap,
+        )
+        self.repository = KnowledgeRepository()
+        self.churn = ChurnHistory()
+        self.retrains: list[RetrainEvent] = []
+        self.warnings: list[FailureWarning] = []
+
+        self._events: list[RASEvent] = []
+        self._fatal_times: list[float] = []
+        self._fatal_codes: list[str] = []
+        self._last_time = self.origin
+        self._predictor: Predictor | None = None
+        #: week number of the next scheduled retraining
+        self._next_retrain_week = self.config.initial_train_weeks
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def current_week(self) -> int:
+        return int((self._last_time - self.origin) // WEEK_SECONDS)
+
+    @property
+    def started(self) -> bool:
+        """Whether the initial training has happened yet."""
+        return self._predictor is not None
+
+    def history(self) -> EventLog:
+        """Everything ingested so far, as an EventLog."""
+        return EventLog(self._events, origin=self.origin, _presorted=True)
+
+    def _boundary_time(self, week: int) -> float:
+        return self.origin + week * WEEK_SECONDS
+
+    # -- retraining ---------------------------------------------------------
+
+    def _retrain(self, week: int) -> None:
+        cfg = self.config
+        w0, w1 = cfg.policy.window(week)
+        train_log = self.history().slice_weeks(w0, w1)
+
+        import time
+
+        t0 = time.perf_counter()
+        output = self.meta.train(train_log, cfg.prediction_window, week=week)
+        generation_seconds = time.perf_counter() - t0
+        candidates = output.records()
+        candidate_keys = {r.key for r in candidates}
+
+        t0 = time.perf_counter()
+        if cfg.use_reviser:
+            revision = self.reviser.revise(
+                candidates, train_log, cfg.prediction_window
+            )
+            kept, removed_keys = revision.kept, revision.removed_keys
+        else:
+            kept, removed_keys = candidates, set()
+        revise_seconds = time.perf_counter() - t0
+
+        churn_record = diff_rule_sets(
+            week, self.repository.keys(), candidate_keys, removed_keys
+        )
+        self.repository.replace_all(kept)
+        self.churn.append(churn_record)
+        self.retrains.append(
+            RetrainEvent(
+                week=week,
+                train_span=(w0, w1),
+                n_candidates=len(candidates),
+                n_kept=len(kept),
+                churn=churn_record,
+                generation_seconds=generation_seconds,
+                revise_seconds=revise_seconds,
+            )
+        )
+
+        self._predictor = Predictor(
+            self.repository.rules(),
+            window=cfg.prediction_window,
+            catalog=self.catalog,
+            ensemble=cfg.ensemble,
+            dist_horizon_cap=cfg.dist_horizon_cap,
+        )
+        self._predictor.state.clock = self._boundary_time(week)
+
+    def _schedule_after(self, week: int) -> None:
+        if self.config.policy.retrains:
+            self._next_retrain_week = week + self.config.retrain_weeks
+        else:
+            self._next_retrain_week = None  # type: ignore[assignment]
+
+    def _cross_boundaries(self, t: float) -> None:
+        """Run any retrainings whose boundary the stream has crossed."""
+        while (
+            self._next_retrain_week is not None
+            and t >= self._boundary_time(self._next_retrain_week)
+        ):
+            week = self._next_retrain_week
+            self._retrain(week)
+            self._schedule_after(week)
+
+    # -- public API ------------------------------------------------------------
+
+    def ingest(self, event: RASEvent) -> list[FailureWarning]:
+        """Feed one event; returns any warnings it (or the timer) raised."""
+        if event.timestamp < self.origin:
+            raise ValueError(
+                f"event at {event.timestamp} precedes the session origin "
+                f"{self.origin}"
+            )
+        if event.timestamp < self._last_time:
+            raise ValueError(
+                f"events must arrive in time order "
+                f"({event.timestamp} < {self._last_time})"
+            )
+
+        self._cross_boundaries(event.timestamp)
+        self._last_time = event.timestamp
+        self._events.append(event)
+        code = event.entry_data
+        if code in self.catalog and self.catalog.is_fatal_code(code):
+            self._fatal_times.append(event.timestamp)
+            self._fatal_codes.append(code)
+
+        if self._predictor is None:
+            return []
+        new = self._predictor.feed(event, tick=self.config.tick)
+        self.warnings.extend(new)
+        return new
+
+    def advance(self, now: float) -> list[FailureWarning]:
+        """Move the session clock without an event (idle timer service)."""
+        if now < self._last_time:
+            raise ValueError(f"clock moved backwards: {now} < {self._last_time}")
+        self._cross_boundaries(now)
+        self._last_time = now
+        if self._predictor is None or self.config.tick is None:
+            return []
+        new = self._predictor.catch_up(now, self.config.tick)
+        self.warnings.extend(new)
+        return new
+
+    def summary(self) -> SessionSummary:
+        """Accuracy accounting over the prediction period.
+
+        Failures that occurred before predictions started (during the
+        initial training period) do not count toward recall.
+        """
+        import numpy as np
+
+        prediction_start = self._boundary_time(self.config.initial_train_weeks)
+        times: list[float] = []
+        codes: list[str] = []
+        for t, c in zip(self._fatal_times, self._fatal_codes):
+            if t >= prediction_start:
+                times.append(t)
+                codes.append(c)
+        matching = match_warnings(
+            self.warnings, np.asarray(times, dtype=np.float64), codes
+        )
+        return SessionSummary(
+            n_events=len(self._events),
+            n_fatal=len(times),
+            n_warnings=len(self.warnings),
+            matching=matching,
+            retrains=list(self.retrains),
+        )

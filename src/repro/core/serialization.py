@@ -1,0 +1,170 @@
+"""Persistence for rules and the knowledge repository.
+
+An online deployment trains rules off the critical path and ships them to
+the predictor process; operators also want to inspect and diff rule sets
+across retrainings.  This module serializes rules and
+:class:`~repro.core.knowledge.RuleRecord` provenance to plain JSON — no
+pickling, so rule files are auditable and stable across library versions.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.knowledge import KnowledgeRepository, RuleRecord
+from repro.learners.rules import (
+    AssociationRule,
+    CountRule,
+    DistributionRule,
+    Rule,
+    StatisticalRule,
+)
+
+FORMAT_VERSION = 1
+
+
+def rule_to_dict(rule: Rule) -> dict[str, Any]:
+    """JSON-ready representation of any rule species."""
+    if isinstance(rule, AssociationRule):
+        return {
+            "kind": "association",
+            "antecedent": sorted(rule.antecedent),
+            "consequent": rule.consequent,
+            "support": rule.support,
+            "confidence": rule.confidence,
+        }
+    if isinstance(rule, StatisticalRule):
+        return {
+            "kind": "statistical",
+            "k": rule.k,
+            "window": rule.window,
+            "probability": rule.probability,
+        }
+    if isinstance(rule, DistributionRule):
+        return {
+            "kind": "distribution",
+            "distribution": rule.distribution,
+            "params": list(rule.params),
+            "threshold": rule.threshold,
+            "quantile_time": rule.quantile_time,
+        }
+    if isinstance(rule, CountRule):
+        return {
+            "kind": "count",
+            "code": rule.code,
+            "count": rule.count,
+            "window": rule.window,
+            "consequent": rule.consequent,
+            "support": rule.support,
+            "confidence": rule.confidence,
+        }
+    raise TypeError(f"unsupported rule type {type(rule).__name__}")
+
+
+def rule_from_dict(data: dict[str, Any]) -> Rule:
+    """Inverse of :func:`rule_to_dict` (validates through the rule
+    constructors)."""
+    try:
+        kind = data["kind"]
+    except KeyError:
+        raise ValueError("rule dict is missing its 'kind' field") from None
+    if kind == "association":
+        return AssociationRule(
+            antecedent=frozenset(data["antecedent"]),
+            consequent=data["consequent"],
+            support=data["support"],
+            confidence=data["confidence"],
+        )
+    if kind == "statistical":
+        return StatisticalRule(
+            k=data["k"], window=data["window"], probability=data["probability"]
+        )
+    if kind == "distribution":
+        return DistributionRule(
+            distribution=data["distribution"],
+            params=tuple(data["params"]),
+            threshold=data["threshold"],
+            quantile_time=data["quantile_time"],
+        )
+    if kind == "count":
+        return CountRule(
+            code=data["code"],
+            count=data["count"],
+            window=data["window"],
+            consequent=data["consequent"],
+            support=data["support"],
+            confidence=data["confidence"],
+        )
+    raise ValueError(f"unknown rule kind {kind!r}")
+
+
+def record_to_dict(record: RuleRecord) -> dict[str, Any]:
+    return {
+        "rule": rule_to_dict(record.rule),
+        "learner": record.learner,
+        "trained_at_week": record.trained_at_week,
+        "scores": {
+            "tp": record.tp,
+            "fp": record.fp,
+            "fn": record.fn,
+            "roc": record.roc,
+        },
+    }
+
+
+def record_from_dict(data: dict[str, Any]) -> RuleRecord:
+    scores = data.get("scores", {})
+    return RuleRecord(
+        rule=rule_from_dict(data["rule"]),
+        learner=data["learner"],
+        trained_at_week=data["trained_at_week"],
+        tp=scores.get("tp", 0),
+        fp=scores.get("fp", 0),
+        fn=scores.get("fn", 0),
+        roc=scores.get("roc", 0.0),
+    )
+
+
+def dump_repository(
+    repository: KnowledgeRepository,
+    destination: str | Path | io.TextIOBase,
+    indent: int | None = 2,
+) -> None:
+    """Write a repository (rules + provenance) as JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "n_rules": len(repository),
+        "records": [record_to_dict(r) for r in repository.records()],
+    }
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=indent)
+    else:
+        json.dump(payload, destination, indent=indent)
+
+
+def load_repository(
+    source: str | Path | io.TextIOBase,
+) -> KnowledgeRepository:
+    """Read a repository written by :func:`dump_repository`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    else:
+        payload = json.load(source)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported rule-file format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    records = [record_from_dict(d) for d in payload.get("records", [])]
+    if "n_rules" in payload and payload["n_rules"] != len(records):
+        raise ValueError(
+            f"rule file is inconsistent: header says {payload['n_rules']} "
+            f"rules, body has {len(records)}"
+        )
+    return KnowledgeRepository(records)

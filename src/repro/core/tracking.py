@@ -1,0 +1,90 @@
+"""Rule-churn accounting (Figure 12).
+
+At every retraining the paper measures four quantities: rules *unchanged*
+(present before and re-learned), rules *added* by the meta-learner, rules
+*removed* by the meta-learner (previously held, no longer learned), and
+rules *removed by the reviser* (learned this round but failing the ROC
+filter).  :class:`ChurnHistory` accumulates one :class:`ChurnRecord` per
+retraining so the figure's four series can be printed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.learners.rules import RuleKey
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnRecord:
+    """Rule-set movement at one retraining round."""
+
+    week: int
+    unchanged: int
+    added: int
+    removed_by_meta: int
+    removed_by_reviser: int
+
+    @property
+    def total_active(self) -> int:
+        """Rules used for prediction until the next retraining."""
+        return self.unchanged + self.added
+
+    @property
+    def change_ratio(self) -> float:
+        """(changed / unchanged); the paper reports 44 % – 212 %."""
+        changed = self.added + self.removed_by_meta + self.removed_by_reviser
+        return changed / self.unchanged if self.unchanged else float("inf")
+
+
+def diff_rule_sets(
+    week: int,
+    previous_keys: set[RuleKey],
+    candidate_keys: set[RuleKey],
+    reviser_removed_keys: set[RuleKey],
+) -> ChurnRecord:
+    """Compute one churn record.
+
+    ``candidate_keys`` is what the meta-learner produced this round
+    (before revising); ``reviser_removed_keys`` ⊆ ``candidate_keys`` is
+    what the reviser then discarded.  Surviving rules are candidates minus
+    reviser removals; "unchanged" counts survivors already present before.
+    """
+    if not reviser_removed_keys <= candidate_keys:
+        raise ValueError("reviser removals must be a subset of the candidates")
+    surviving = candidate_keys - reviser_removed_keys
+    return ChurnRecord(
+        week=week,
+        unchanged=len(surviving & previous_keys),
+        added=len(surviving - previous_keys),
+        removed_by_meta=len(previous_keys - candidate_keys),
+        removed_by_reviser=len(reviser_removed_keys),
+    )
+
+
+@dataclass
+class ChurnHistory:
+    """Per-retraining churn records, in week order."""
+
+    records: list[ChurnRecord] = field(default_factory=list)
+
+    def append(self, record: ChurnRecord) -> None:
+        if self.records and record.week <= self.records[-1].week:
+            raise ValueError(
+                f"churn records must be appended in week order "
+                f"({record.week} after {self.records[-1].week})"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def series(self) -> dict[str, list[int]]:
+        """The four Figure 12 series keyed by name."""
+        return {
+            "week": [r.week for r in self.records],
+            "unchanged": [r.unchanged for r in self.records],
+            "added": [r.added for r in self.records],
+            "removed_by_meta": [r.removed_by_meta for r in self.records],
+            "removed_by_reviser": [r.removed_by_reviser for r in self.records],
+        }

@@ -1,0 +1,196 @@
+"""Alignment of warnings with actual failures.
+
+Implements the accounting behind the paper's metrics (Section 5.1):
+
+* a warning is a **true positive** when a fatal event occurs within its
+  prediction window ``(t, t + Wp]`` (and, for type-specific rules, the
+  fatal event has the predicted type);
+* a fatal event is **covered** (counted toward recall) when at least one
+  warning was raised within ``Wp`` before it;
+* uncovered fatal events are **false negatives**, unmatched warnings are
+  **false positives**.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.alerts import FailureWarning
+from repro.learners.rules import ANY_FAILURE
+from repro.raslog.catalog import EventCatalog
+from repro.raslog.store import EventLog
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching a batch of warnings against the failure record."""
+
+    n_warnings: int
+    n_fatal: int
+    #: per-warning hit flags, aligned with the input order
+    matched: np.ndarray
+    #: per-fatal coverage flags, aligned with ``fatal_times``
+    covered: np.ndarray
+    fatal_times: np.ndarray
+
+    @property
+    def true_positives(self) -> int:
+        return int(self.matched.sum())
+
+    @property
+    def false_positives(self) -> int:
+        return self.n_warnings - self.true_positives
+
+    @property
+    def covered_failures(self) -> int:
+        return int(self.covered.sum())
+
+    @property
+    def false_negatives(self) -> int:
+        return self.n_fatal - self.covered_failures
+
+    @property
+    def precision(self) -> float:
+        """Correct predictions over all predictions made."""
+        if self.n_warnings == 0:
+            return 0.0
+        return self.true_positives / self.n_warnings
+
+    @property
+    def recall(self) -> float:
+        """Covered failures over all failures."""
+        if self.n_fatal == 0:
+            return 0.0
+        return self.covered_failures / self.n_fatal
+
+
+def extract_failures(
+    log: EventLog, catalog: EventCatalog
+) -> tuple[np.ndarray, list[str]]:
+    """(times, codes) of the catalog-fatal events of a categorized log."""
+    fatal = log.fatal(catalog)
+    return fatal.timestamps, [e.entry_data for e in fatal]
+
+
+def match_warnings(
+    warnings: Sequence[FailureWarning],
+    fatal_times: np.ndarray,
+    fatal_codes: Sequence[str] | None = None,
+) -> MatchResult:
+    """Match warnings against the (sorted) fatal-event record.
+
+    ``fatal_codes`` enables type-aware matching for warnings that predict
+    a specific fatal type; when omitted, any failure inside the window
+    satisfies any warning.
+    """
+    times = np.asarray(fatal_times, dtype=np.float64)
+    if len(times) > 1 and np.any(np.diff(times) < 0):
+        raise ValueError("fatal_times must be sorted ascending")
+    if fatal_codes is not None and len(fatal_codes) != len(times):
+        raise ValueError(
+            f"fatal_codes length {len(fatal_codes)} != times length {len(times)}"
+        )
+
+    matched = np.zeros(len(warnings), dtype=bool)
+    covered = np.zeros(len(times), dtype=bool)
+
+    for i, w in enumerate(warnings):
+        lo = int(np.searchsorted(times, w.time, side="right"))
+        hi = int(np.searchsorted(times, w.deadline, side="right"))
+        if hi <= lo:
+            continue
+        if w.predicted == ANY_FAILURE or fatal_codes is None:
+            matched[i] = True
+            covered[lo:hi] = True
+        else:
+            hit = False
+            for j in range(lo, hi):
+                if fatal_codes[j] == w.predicted:
+                    covered[j] = True
+                    hit = True
+            matched[i] = hit
+
+    return MatchResult(
+        n_warnings=len(warnings),
+        n_fatal=len(times),
+        matched=matched,
+        covered=covered,
+        fatal_times=times,
+    )
+
+
+@dataclass
+class RuleScore:
+    """Per-rule confusion counts, the reviser's input (Algorithm 1).
+
+    Following the paper's metric definitions, the precision term counts
+    *predictions* (warnings) while the recall term counts *failures*:
+    ``tp``/``fp`` are matched/unmatched warnings, ``covered`` is the number
+    of target failures the rule anticipated, and ``fn`` the target
+    failures it missed (targets are the rule's predicted fatal type, or
+    every failure for untyped rules).
+    """
+
+    tp: int = 0
+    fp: int = 0
+    covered: int = 0
+    fn: int = 0
+
+    @property
+    def m1(self) -> float:
+        """Precision term of Algorithm 1: TP / (TP + FP) over warnings."""
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 0.0
+
+    @property
+    def m2(self) -> float:
+        """Recall term of Algorithm 1: covered / (covered + FN) failures."""
+        denom = self.covered + self.fn
+        return self.covered / denom if denom else 0.0
+
+    @property
+    def roc(self) -> float:
+        """``sqrt(m1² + m2²)`` — distance from the ROC-space origin."""
+        return float(np.hypot(self.m1, self.m2))
+
+
+def score_rules(
+    warnings: Sequence[FailureWarning],
+    fatal_times: np.ndarray,
+    fatal_codes: Sequence[str],
+) -> dict[tuple, RuleScore]:
+    """Split a union-mode warning stream into per-rule confusion counts.
+
+    Warnings are grouped by ``rule_key``; each group is matched
+    independently, and a rule's false negatives are the failures *of the
+    type it predicts* (all failures, for ``ANY_FAILURE`` rules) that its
+    own warnings did not cover.
+    """
+    by_rule: dict[tuple, list[FailureWarning]] = {}
+    for w in warnings:
+        by_rule.setdefault(w.rule_key, []).append(w)
+
+    times = np.asarray(fatal_times, dtype=np.float64)
+    codes = list(fatal_codes)
+    scores: dict[tuple, RuleScore] = {}
+    for key, group in by_rule.items():
+        result = match_warnings(group, times, codes)
+        predicted = group[0].predicted
+        if predicted == ANY_FAILURE:
+            n_target = len(times)
+            covered = result.covered_failures
+        else:
+            target = np.fromiter(
+                (c == predicted for c in codes), dtype=bool, count=len(codes)
+            )
+            n_target = int(target.sum())
+            covered = int((result.covered & target).sum())
+        scores[key] = RuleScore(
+            tp=result.true_positives,
+            fp=result.false_positives,
+            covered=covered,
+            fn=n_target - covered,
+        )
+    return scores

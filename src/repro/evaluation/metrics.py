@@ -1,0 +1,46 @@
+"""Prediction-accuracy metrics (Section 5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PrecisionRecall:
+    """A (precision, recall) pair with its confusion counts."""
+
+    tp: int
+    fp: int
+    fn: int
+
+    def __post_init__(self) -> None:
+        if min(self.tp, self.fp, self.fn) < 0:
+            raise ValueError("confusion counts must be non-negative")
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __add__(self, other: "PrecisionRecall") -> "PrecisionRecall":
+        return PrecisionRecall(
+            tp=self.tp + other.tp, fp=self.fp + other.fp, fn=self.fn + other.fn
+        )
+
+
+def combine(parts: list[PrecisionRecall]) -> PrecisionRecall:
+    """Micro-average: pool the confusion counts."""
+    total = PrecisionRecall(0, 0, 0)
+    for p in parts:
+        total = total + p
+    return total

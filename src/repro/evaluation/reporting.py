@@ -1,0 +1,107 @@
+"""Per-learner and cross-run accuracy reporting.
+
+The paper's analysis repeatedly slices accuracy by base learner (Figures
+7 and 8) and compares configurations side by side (Figures 9–11).  This
+module turns warning streams and run results into those breakdowns as
+:class:`~repro.utils.tables.TableResult` objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.alerts import FailureWarning
+from repro.evaluation.matching import match_warnings
+from repro.evaluation.timeline import mean_accuracy
+from repro.utils.tables import TableResult
+
+
+def learner_breakdown(
+    warnings: Sequence[FailureWarning],
+    fatal_times: np.ndarray,
+    fatal_codes: Sequence[str] | None = None,
+    title: str = "Per-learner accuracy",
+) -> TableResult:
+    """Accuracy of each expert's warnings, matched independently.
+
+    Precision follows the paper (matched warnings over warnings); the
+    coverage column is the fraction of all failures the expert's warnings
+    anticipated — the quantity behind the Figure 8 Venn shares.
+    """
+    times = np.asarray(fatal_times, dtype=np.float64)
+    by_learner: dict[str, list[FailureWarning]] = {}
+    for w in warnings:
+        by_learner.setdefault(w.learner, []).append(w)
+
+    table = TableResult(
+        title=title,
+        columns=["learner", "warnings", "precision", "coverage"],
+        meta={"n_fatal": len(times)},
+    )
+    for learner in sorted(by_learner):
+        result = match_warnings(by_learner[learner], times, fatal_codes)
+        coverage = (
+            result.covered_failures / len(times) if len(times) else 0.0
+        )
+        table.add_row(
+            learner=learner,
+            warnings=len(by_learner[learner]),
+            precision=round(result.precision, 3),
+            coverage=round(coverage, 3),
+        )
+    total = match_warnings(list(warnings), times, fatal_codes)
+    table.add_row(
+        learner="ALL",
+        warnings=len(warnings),
+        precision=round(total.precision, 3),
+        coverage=round(
+            total.covered_failures / len(times) if len(times) else 0.0, 3
+        ),
+    )
+    return table
+
+
+def compare_runs(
+    results: dict[str, "object"],
+    title: str = "Run comparison",
+    late_fraction: float = 0.5,
+) -> TableResult:
+    """Side-by-side overall and late-period accuracy of several runs.
+
+    ``results`` maps a label to a
+    :class:`~repro.core.framework.RunResult`-like object with a ``weekly``
+    attribute.  The late-period columns expose decay: a configuration that
+    only looks good early (the static policy) separates from one that
+    holds up.
+    """
+    if not results:
+        raise ValueError("need at least one run to compare")
+    if not 0.0 < late_fraction < 1.0:
+        raise ValueError("late_fraction must lie in (0, 1)")
+    table = TableResult(
+        title=title,
+        columns=[
+            "run",
+            "precision",
+            "recall",
+            "late_precision",
+            "late_recall",
+            "warnings",
+        ],
+    )
+    for label, result in results.items():
+        weekly = result.weekly
+        p, r = mean_accuracy(weekly)
+        cut = int(len(weekly) * (1.0 - late_fraction))
+        lp, lr = mean_accuracy(weekly[cut:])
+        table.add_row(
+            run=label,
+            precision=round(p, 3),
+            recall=round(r, 3),
+            late_precision=round(lp, 3),
+            late_recall=round(lr, 3),
+            warnings=sum(w.n_warnings for w in weekly),
+        )
+    return table

@@ -1,0 +1,99 @@
+"""Weekly accuracy series and smoothing (the x-axes of Figures 7–11)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.metrics import PrecisionRecall
+
+
+@dataclass
+class WeeklyMetrics:
+    """Prediction accuracy of one test week."""
+
+    week: int
+    counts: PrecisionRecall
+    n_warnings: int
+    n_fatal: int
+
+    @property
+    def precision(self) -> float:
+        return self.counts.precision
+
+    @property
+    def recall(self) -> float:
+        return self.counts.recall
+
+
+def rolling_metrics(
+    weekly: Sequence[WeeklyMetrics], span: int = 4
+) -> list[WeeklyMetrics]:
+    """Micro-averaged trailing window over weekly metrics.
+
+    Failure prediction weeks are noisy (some test weeks contain very few
+    failures); the paper's figures effectively show multi-week behaviour,
+    so experiments aggregate each point over the trailing ``span`` weeks.
+    """
+    if span < 1:
+        raise ValueError(f"span must be >= 1, got {span}")
+    out: list[WeeklyMetrics] = []
+    for i, wm in enumerate(weekly):
+        window = weekly[max(0, i - span + 1) : i + 1]
+        counts = PrecisionRecall(
+            tp=sum(w.counts.tp for w in window),
+            fp=sum(w.counts.fp for w in window),
+            fn=sum(w.counts.fn for w in window),
+        )
+        out.append(
+            WeeklyMetrics(
+                week=wm.week,
+                counts=counts,
+                n_warnings=sum(w.n_warnings for w in window),
+                n_fatal=sum(w.n_fatal for w in window),
+            )
+        )
+    return out
+
+
+def series_arrays(
+    weekly: Sequence[WeeklyMetrics],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(weeks, precision, recall) as NumPy arrays."""
+    weeks = np.fromiter((w.week for w in weekly), dtype=np.int64, count=len(weekly))
+    precision = np.fromiter(
+        (w.precision for w in weekly), dtype=np.float64, count=len(weekly)
+    )
+    recall = np.fromiter(
+        (w.recall for w in weekly), dtype=np.float64, count=len(weekly)
+    )
+    return weeks, precision, recall
+
+
+def mean_accuracy(weekly: Sequence[WeeklyMetrics]) -> tuple[float, float]:
+    """Micro-averaged (precision, recall) over the whole series."""
+    total = PrecisionRecall(
+        tp=sum(w.counts.tp for w in weekly),
+        fp=sum(w.counts.fp for w in weekly),
+        fn=sum(w.counts.fn for w in weekly),
+    )
+    return total.precision, total.recall
+
+
+def trend_slope(values: Sequence[float]) -> float:
+    """Least-squares slope per week — negative means decaying accuracy.
+
+    Used to verify the paper's observation that *static* training decays
+    monotonically while dynamic training stays flat.
+    """
+    y = np.asarray(values, dtype=np.float64)
+    if len(y) < 2:
+        return 0.0
+    x = np.arange(len(y), dtype=np.float64)
+    x = x - x.mean()
+    denom = float((x * x).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((x * (y - y.mean())).sum() / denom)

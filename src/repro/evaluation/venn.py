@@ -1,0 +1,86 @@
+"""Venn-diagram coverage analysis of the base learners (Figure 8).
+
+For a span of test weeks, each base learner runs standalone and the set
+of fatal events it captures is recorded; the seven-region Venn counts
+show how complementary the learners are (the paper's Observation #1: no
+single method captures all failures).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.alerts import FailureWarning
+from repro.evaluation.matching import match_warnings
+
+
+@dataclass
+class VennResult:
+    """Region counts over named coverage sets."""
+
+    names: tuple[str, ...]
+    n_fatal: int
+    #: frozenset of learner names -> number of fatals captured by exactly
+    #: that set of learners (and no others)
+    regions: dict[frozenset, int] = field(default_factory=dict)
+    covered_by: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def uncaptured(self) -> int:
+        return self.n_fatal - sum(self.regions.values())
+
+    @property
+    def multi_captured(self) -> int:
+        """Fatals captured by more than one learner."""
+        return sum(n for s, n in self.regions.items() if len(s) > 1)
+
+    def region(self, *names: str) -> int:
+        """Count of fatals captured by exactly this learner combination."""
+        return self.regions.get(frozenset(names), 0)
+
+    def coverage_fraction(self, name: str) -> float:
+        if self.n_fatal == 0:
+            return 0.0
+        return self.covered_by.get(name, 0) / self.n_fatal
+
+
+def venn_coverage(
+    warnings_by_learner: dict[str, Sequence[FailureWarning]],
+    fatal_times: np.ndarray,
+    fatal_codes: Sequence[str],
+) -> VennResult:
+    """Compute Venn regions from per-learner warning streams."""
+    names = tuple(sorted(warnings_by_learner))
+    if not names:
+        raise ValueError("need at least one learner's warnings")
+    covered_sets: dict[str, np.ndarray] = {}
+    for name in names:
+        result = match_warnings(
+            list(warnings_by_learner[name]), fatal_times, fatal_codes
+        )
+        covered_sets[name] = result.covered
+
+    n_fatal = len(np.asarray(fatal_times))
+    venn = VennResult(names=names, n_fatal=n_fatal)
+    venn.covered_by = {
+        name: int(covered.sum()) for name, covered in covered_sets.items()
+    }
+
+    # Exact-region partition: for each fatal event, the set of learners
+    # that captured it.
+    for subset_size in range(1, len(names) + 1):
+        for combo in combinations(names, subset_size):
+            inside = np.ones(n_fatal, dtype=bool)
+            for name in combo:
+                inside &= covered_sets[name]
+            for name in names:
+                if name not in combo:
+                    inside &= ~covered_sets[name]
+            count = int(inside.sum())
+            if count:
+                venn.regions[frozenset(combo)] = count
+    return venn

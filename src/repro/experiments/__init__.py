@@ -1,0 +1,45 @@
+"""Experiment drivers, one per paper table/figure (see DESIGN.md index)."""
+
+from repro.experiments import (
+    figure4,
+    figure5,
+    figure8,
+    q1_meta,
+    q2_retrain_period,
+    q2_reviser,
+    q2_rule_churn,
+    q2_training_size,
+    q3_window,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.config import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    ExperimentSetup,
+    clear_cache,
+    make_log,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "ExperimentSetup",
+    "clear_cache",
+    "figure4",
+    "figure5",
+    "figure8",
+    "make_log",
+    "q1_meta",
+    "q2_retrain_period",
+    "q2_reviser",
+    "q2_rule_churn",
+    "q2_training_size",
+    "q3_window",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

@@ -1,0 +1,76 @@
+"""Shared experiment configuration and workload construction.
+
+Every experiment driver takes a system name ("ANL" / "SDSC"), a volume
+``scale`` and an optional week count, and builds its workload through
+:func:`make_log`, which memoizes generated traces so a benchmark session
+that regenerates several figures from the same log pays the generation
+cost once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.raslog.catalog import EventCatalog, default_catalog
+from repro.raslog.generator import GeneratorConfig, SyntheticLog, generate_log
+from repro.raslog.profiles import get_profile
+
+#: Default volume scale for experiment drivers: full calibrated volume for
+#: the logical (clean) stream, which is what the learners consume.
+DEFAULT_SCALE = 1.0
+DEFAULT_SEED = 2008  # the paper's year
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Identity of one experiment workload."""
+
+    system: str = "SDSC"
+    scale: float = DEFAULT_SCALE
+    weeks: int | None = None
+    seed: int = DEFAULT_SEED
+    duplicates: bool = False
+
+    def __post_init__(self) -> None:
+        get_profile(self.system)  # validate early
+
+
+@lru_cache(maxsize=16)
+def _cached_log(setup: ExperimentSetup) -> SyntheticLog:
+    profile = get_profile(setup.system)
+    config = GeneratorConfig(
+        scale=setup.scale,
+        weeks=setup.weeks,
+        seed=setup.seed,
+        duplicates=setup.duplicates,
+    )
+    return generate_log(profile, config)
+
+
+def make_log(
+    system: str = "SDSC",
+    scale: float = DEFAULT_SCALE,
+    weeks: int | None = None,
+    seed: int = DEFAULT_SEED,
+    duplicates: bool = False,
+) -> SyntheticLog:
+    """Build (or fetch a cached) synthetic trace for an experiment."""
+    return _cached_log(
+        ExperimentSetup(
+            system=system,
+            scale=scale,
+            weeks=weeks,
+            seed=seed,
+            duplicates=duplicates,
+        )
+    )
+
+
+def catalog() -> EventCatalog:
+    return default_catalog()
+
+
+def clear_cache() -> None:
+    """Drop memoized traces (tests use this to bound memory)."""
+    _cached_log.cache_clear()

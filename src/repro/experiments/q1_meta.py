@@ -1,0 +1,74 @@
+"""Q1 / Figure 7 — meta-learning versus the individual base methods.
+
+Each base learner runs standalone under a *static* regime (first six
+months as training set, no retraining), alongside the static
+meta-learner combining all three.  The paper's findings: accuracy decays
+over time for every static method; association rules have the worst
+recall (≈ 75 % of fatal events have no precursor), statistical rules
+have good precision but low recall, the probability distribution has
+good recall but many false alarms; and the meta-learner substantially
+boosts recall (up to ~3×) with a non-trivial precision gain.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import DynamicMetaLearningFramework, FrameworkConfig, RunResult
+from repro.core.windows import static_initial
+from repro.evaluation.timeline import rolling_metrics
+from repro.experiments.config import DEFAULT_SEED, make_log
+from repro.learners.registry import DEFAULT_LEARNERS
+from repro.utils.tables import TableResult
+
+#: The four curves of each Figure 7 plot.
+METHODS: tuple[str, ...] = DEFAULT_LEARNERS + ("meta",)
+
+
+def run_method(
+    method: str,
+    log,
+    catalog,
+    window: float = 300.0,
+    initial_train_weeks: int = 26,
+) -> RunResult:
+    """One static-policy run: a single base learner, or the full ensemble."""
+    learners = DEFAULT_LEARNERS if method == "meta" else (method,)
+    config = FrameworkConfig(
+        prediction_window=window,
+        policy=static_initial(6),
+        initial_train_weeks=initial_train_weeks,
+        learners=learners,
+    )
+    return DynamicMetaLearningFramework(config, catalog=catalog).run(log)
+
+
+def run(
+    system: str = "SDSC",
+    scale: float = 1.0,
+    weeks: int | None = None,
+    seed: int = DEFAULT_SEED,
+    window: float = 300.0,
+    smoothing: int = 4,
+) -> tuple[TableResult, dict[str, RunResult]]:
+    """Weekly precision/recall of each method plus the static meta-learner."""
+    syn = make_log(system, scale=scale, weeks=weeks, seed=seed)
+    log, catalog = syn.clean, syn.catalog
+
+    results = {m: run_method(m, log, catalog, window=window) for m in METHODS}
+
+    columns = ["week"]
+    for m in METHODS:
+        columns += [f"p_{m}", f"r_{m}"]
+    table = TableResult(
+        title=f"Figure 7: meta-learning vs base methods ({system})",
+        columns=columns,
+        meta={"system": system, "seed": seed, "window": window},
+    )
+    smoothed = {m: rolling_metrics(r.weekly, smoothing) for m, r in results.items()}
+    n_weeks = len(next(iter(smoothed.values())))
+    for i in range(n_weeks):
+        row = {"week": smoothed[METHODS[0]][i].week}
+        for m in METHODS:
+            row[f"p_{m}"] = round(smoothed[m][i].precision, 3)
+            row[f"r_{m}"] = round(smoothed[m][i].recall, 3)
+        table.add_row(**row)
+    return table, results

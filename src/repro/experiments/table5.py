@@ -1,0 +1,78 @@
+"""Table 5 — operation overhead as a function of training size.
+
+The paper times rule generation (statistical / association / probability
+distribution / "ensemble & revise") and rule matching for training sets
+of 3–30 months on a 1.6 GHz Pentium.  Absolute times are hardware-bound;
+the claims this driver reproduces are the *shape*: generation grows
+roughly linearly with training size, association mining dominates it, and
+online rule matching stays trivially cheap and roughly constant.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.overhead import OverheadRecord, measure_overhead
+from repro.experiments.config import DEFAULT_SEED, make_log
+from repro.learners.registry import DEFAULT_LEARNERS, create_learner
+from repro.utils.tables import TableResult
+from repro.utils.timeutil import WEEK_SECONDS
+
+#: Training sizes of Table 5, months.
+TABLE5_MONTHS: tuple[int, ...] = (3, 6, 12, 18, 24, 30)
+
+
+def run(
+    system: str = "SDSC",
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    months: tuple[int, ...] = TABLE5_MONTHS,
+    window: float = 300.0,
+    matching_weeks: int = 4,
+) -> tuple[TableResult, list[OverheadRecord]]:
+    """Measure generation/matching overhead per training size."""
+    max_weeks = max(round(m * 30 / 7) for m in months) + matching_weeks
+    syn = make_log(system, scale=scale, weeks=max_weeks, seed=seed)
+    log = syn.clean
+    catalog = syn.catalog
+
+    table = TableResult(
+        title="Table 5: operation overhead (seconds) vs training size",
+        columns=[
+            "training",
+            "weeks",
+            "events",
+            "stat_rule",
+            "asso_rule",
+            "prob_dist",
+            "ensemble_revise",
+            "rule_matching",
+        ],
+        meta={"system": system, "scale": scale, "seed": seed, "window": window},
+    )
+    records: list[OverheadRecord] = []
+    for m in months:
+        weeks = round(m * 30 / 7)
+        training_log = log.between(0.0, weeks * WEEK_SECONDS)
+        matching_log = log.between(
+            weeks * WEEK_SECONDS, (weeks + matching_weeks) * WEEK_SECONDS
+        )
+        learners = [create_learner(name, catalog=catalog) for name in DEFAULT_LEARNERS]
+        record = measure_overhead(
+            learners,
+            training_log,
+            matching_log,
+            window=window,
+            training_weeks=weeks,
+            catalog=catalog,
+        )
+        records.append(record)
+        table.add_row(
+            training=f"{m} mo",
+            weeks=weeks,
+            events=record.n_training_events,
+            stat_rule=round(record.generation.get("statistical", 0.0), 3),
+            asso_rule=round(record.generation.get("association", 0.0), 3),
+            prob_dist=round(record.generation.get("distribution", 0.0), 3),
+            ensemble_revise=round(record.ensemble_and_revise, 3),
+            rule_matching=round(record.rule_matching, 3),
+        )
+    return table, records

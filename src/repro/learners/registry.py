@@ -1,0 +1,61 @@
+"""Base-learner registry.
+
+Maps learner names to factories so framework configuration (and user
+extensions) can refer to learners by name.  Registering a new method is
+the paper's extension point: "other predictive methods can be easily
+incorporated into our framework".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.learners.association import AssociationRuleLearner
+from repro.learners.base import BaseLearner
+from repro.learners.counting import CountThresholdLearner
+from repro.learners.distribution import DistributionLearner
+from repro.learners.statistical import StatisticalRuleLearner
+from repro.raslog.catalog import EventCatalog
+
+LearnerFactory = Callable[..., BaseLearner]
+
+_REGISTRY: dict[str, LearnerFactory] = {}
+
+
+def register_learner(
+    name: str, factory: LearnerFactory, overwrite: bool = False
+) -> None:
+    """Add a learner factory under ``name``."""
+    if not name:
+        raise ValueError("learner name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"learner {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def create_learner(
+    name: str, catalog: EventCatalog | None = None, **kwargs
+) -> BaseLearner:
+    """Instantiate a registered learner."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown learner {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(catalog=catalog, **kwargs)
+
+
+def available_learners() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+#: The paper's mixture-of-experts consultation order (Section 4.1):
+#: association rules first, then statistical rules, then the distribution.
+DEFAULT_LEARNERS: tuple[str, ...] = ("association", "statistical", "distribution")
+
+register_learner("association", AssociationRuleLearner)
+register_learner("statistical", StatisticalRuleLearner)
+register_learner("distribution", DistributionLearner)
+#: Extension learner (not part of the paper's default ensemble).
+register_learner("count", CountThresholdLearner)

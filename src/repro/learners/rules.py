@@ -1,0 +1,208 @@
+"""Failure-pattern rules produced by the base learners.
+
+Three rule species mirror the paper's three base methods:
+
+* :class:`AssociationRule` — ``{non-fatal precursors} → fatal`` with
+  support and confidence (association-rule learner);
+* :class:`StatisticalRule` — "k failures within the window ⇒ another
+  failure with probability p" (statistical-rule learner);
+* :class:`DistributionRule` — "elapsed time since the last failure exceeds
+  the fitted CDF's q-quantile ⇒ failure imminent" (probability-distribution
+  learner).
+
+Every rule has a stable ``key`` (used by the knowledge repository for churn
+accounting, Figure 12) and a ``predicted`` target: a concrete fatal code,
+or :data:`ANY_FAILURE` when the rule forecasts *some* failure rather than a
+specific type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Wildcard target for rules that predict "a failure" without naming a type.
+ANY_FAILURE = "*"
+
+RuleKey = tuple
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """``antecedent → consequent`` with the mined support/confidence."""
+
+    antecedent: frozenset[str]
+    consequent: str
+    support: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.antecedent:
+            raise ValueError("association rule needs a non-empty antecedent")
+        if self.consequent in self.antecedent:
+            raise ValueError(
+                f"consequent {self.consequent!r} appears in its own antecedent"
+            )
+        if not 0.0 < self.support <= 1.0:
+            raise ValueError(f"support must lie in (0, 1], got {self.support}")
+        if not 0.0 < self.confidence <= 1.0:
+            raise ValueError(f"confidence must lie in (0, 1], got {self.confidence}")
+
+    @property
+    def kind(self) -> str:
+        return "association"
+
+    @property
+    def predicted(self) -> str:
+        return self.consequent
+
+    @property
+    def key(self) -> RuleKey:
+        return ("assoc", self.consequent, tuple(sorted(self.antecedent)))
+
+    def describe(self) -> str:
+        body = ", ".join(sorted(self.antecedent))
+        return f"{{{body}}} -> {self.consequent}: {self.confidence:.2f}"
+
+
+@dataclass(frozen=True, slots=True)
+class StatisticalRule:
+    """``k`` failures inside ``window`` seconds ⇒ another failure."""
+
+    k: int
+    window: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must lie in (0, 1], got {self.probability}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "statistical"
+
+    @property
+    def predicted(self) -> str:
+        return ANY_FAILURE
+
+    @property
+    def key(self) -> RuleKey:
+        return ("stat", self.k, round(self.window, 3))
+
+    def describe(self) -> str:
+        return (
+            f"{self.k} failures within {self.window:.0f}s "
+            f"=> another failure: {self.probability:.2f}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionRule:
+    """Elapsed time since the last failure ≥ ``quantile_time`` ⇒ warn.
+
+    ``quantile_time`` is ``F⁻¹(threshold)`` of the fitted inter-arrival
+    distribution (e.g. F(20000 s) = 0.63 > 0.6 in the paper's SDSC
+    example).
+    """
+
+    distribution: str
+    params: tuple[float, ...]
+    threshold: float
+    quantile_time: float
+
+    def __post_init__(self) -> None:
+        import math
+
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(f"threshold must lie in (0, 1), got {self.threshold}")
+        if not math.isfinite(self.quantile_time) or self.quantile_time <= 0:
+            raise ValueError(
+                f"quantile_time must be positive and finite, "
+                f"got {self.quantile_time}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "distribution"
+
+    @property
+    def predicted(self) -> str:
+        return ANY_FAILURE
+
+    @property
+    def key(self) -> RuleKey:
+        # Bucket the learned quantile so a retrain that barely moves the
+        # fit counts as the "same" rule, while a real distribution shift
+        # registers as churn.
+        bucket = round(self.quantile_time / 300.0)
+        return ("dist", self.distribution, self.threshold, bucket)
+
+    def describe(self) -> str:
+        return (
+            f"{self.distribution}{self.params} elapsed >= "
+            f"{self.quantile_time:.0f}s (F >= {self.threshold:.2f}) => failure"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CountRule:
+    """``count`` occurrences of ``code`` inside the window ⇒ ``consequent``.
+
+    The count-threshold learner's rule species: unlike association rules,
+    which key on the *presence* of a set of distinct precursors, a count
+    rule keys on the *volume* of a single non-fatal type (e.g. a flood of
+    correctable-ECC warnings heralding an uncorrectable failure).
+    """
+
+    code: str
+    count: int
+    window: float
+    consequent: str
+    support: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if self.count < 2:
+            raise ValueError(f"count must be >= 2, got {self.count}")
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.code == self.consequent:
+            raise ValueError(f"count rule on {self.code} predicts itself")
+        if not 0.0 < self.support <= 1.0:
+            raise ValueError(f"support must lie in (0, 1], got {self.support}")
+        if not 0.0 < self.confidence <= 1.0:
+            raise ValueError(
+                f"confidence must lie in (0, 1], got {self.confidence}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "count"
+
+    @property
+    def predicted(self) -> str:
+        return self.consequent
+
+    @property
+    def key(self) -> RuleKey:
+        return ("count", self.code, self.count, self.consequent)
+
+    def describe(self) -> str:
+        return (
+            f"{self.count}x {self.code} within {self.window:.0f}s -> "
+            f"{self.consequent}: {self.confidence:.2f}"
+        )
+
+
+Rule = Union[AssociationRule, StatisticalRule, DistributionRule, CountRule]
+
+
+def rule_sort_key(rule: Rule) -> tuple:
+    """Deterministic ordering for reporting and stable iteration."""
+    return (rule.kind, rule.key)

@@ -1,0 +1,20 @@
+"""Parallel execution substrate for rule generation."""
+
+from repro.parallel.chunking import chunk_bounds, even_chunks
+from repro.parallel.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+__all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "chunk_bounds",
+    "even_chunks",
+    "make_executor",
+]

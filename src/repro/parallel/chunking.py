@@ -1,0 +1,49 @@
+"""Work-partitioning helpers for parallel rule generation."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def even_chunks(items: Sequence[T], n_chunks: int) -> list[Sequence[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, near-equal parts.
+
+    Never returns empty chunks; fewer chunks come back when there are fewer
+    items than requested chunks.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    n = len(items)
+    if n == 0:
+        return []
+    n_chunks = min(n_chunks, n)
+    base, extra = divmod(n, n_chunks)
+    chunks: list[Sequence[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Index ranges ``[start, end)`` of :func:`even_chunks` partitions."""
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if n_items == 0:
+        return []
+    n_chunks = min(n_chunks, n_items)
+    base, extra = divmod(n_items, n_chunks)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds

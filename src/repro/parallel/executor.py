@@ -1,0 +1,115 @@
+"""Execution backends for rule generation.
+
+The paper notes (Section 5.2.4) that rule generation "can be conducted in
+parallel when the production system is in operation" — base learners are
+independent of each other, so the meta-learner can train them concurrently.
+These executors give that a uniform interface:
+
+* :class:`SerialExecutor` — plain in-process mapping (default; the task
+  sizes here are dominated by NumPy work, so this is often fastest);
+* :class:`ProcessExecutor` — a ``concurrent.futures`` process pool for
+  CPU-bound mining on large training sets;
+* :class:`ThreadExecutor` — threads, useful when the mapped function
+  releases the GIL (NumPy reductions) or for overlap with I/O.
+
+Functions and arguments submitted to :class:`ProcessExecutor` must be
+picklable (top-level functions, no lambdas).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor(abc.ABC):
+    """Maps a function over tasks, preserving input order."""
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every task and return results in task order."""
+
+    def starmap(
+        self, fn: Callable[..., R], task_args: Sequence[tuple]
+    ) -> list[R]:
+        return self.map(lambda args: fn(*args), task_args)
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run everything inline, in order."""
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        return [fn(t) for t in tasks]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        return list(self._pool.map(fn, tasks))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend for CPU-bound mining.
+
+    ``starmap`` here uses a picklable splat wrapper rather than the
+    lambda-based default.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is None:
+            max_workers = max(1, (os.cpu_count() or 2) - 1)
+        self._pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        return list(self._pool.map(fn, tasks))
+
+    def starmap(
+        self, fn: Callable[..., R], task_args: Sequence[tuple]
+    ) -> list[R]:
+        return list(self._pool.map(_Splat(fn), task_args))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class _Splat:
+    """Picklable ``args -> fn(*args)`` adapter for process pools."""
+
+    def __init__(self, fn: Callable[..., Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, args: Iterable[Any]) -> Any:
+        return self.fn(*args)
+
+
+def make_executor(kind: str = "serial", max_workers: int | None = None) -> Executor:
+    """Factory: ``serial``, ``thread`` or ``process``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(max_workers)
+    if kind == "process":
+        return ProcessExecutor(max_workers)
+    raise ValueError(f"unknown executor kind {kind!r}")

@@ -1,0 +1,43 @@
+"""Data preprocessing: event categorization and filtering (Section 3)."""
+
+from repro.preprocess.categorizer import (
+    CategorizationReport,
+    Categorizer,
+    normalize_description,
+)
+from repro.preprocess.filtering import (
+    FilterStats,
+    compress,
+    deduplicate_exact,
+    spatial_compress,
+    temporal_compress,
+)
+from repro.preprocess.pipeline import (
+    DEFAULT_THRESHOLD,
+    PreprocessingPipeline,
+    PreprocessResult,
+)
+from repro.preprocess.threshold import (
+    TABLE4_THRESHOLDS,
+    SweepResult,
+    find_threshold,
+    threshold_sweep,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "TABLE4_THRESHOLDS",
+    "CategorizationReport",
+    "Categorizer",
+    "FilterStats",
+    "PreprocessResult",
+    "PreprocessingPipeline",
+    "SweepResult",
+    "compress",
+    "deduplicate_exact",
+    "find_threshold",
+    "normalize_description",
+    "spatial_compress",
+    "temporal_compress",
+    "threshold_sweep",
+]

@@ -1,0 +1,72 @@
+"""RAS log substrate: event model, catalog, storage, parsing, generation."""
+
+from repro.raslog.catalog import (
+    TABLE3_COUNTS,
+    TOTAL_FATAL_TYPES,
+    TOTAL_NONFATAL_TYPES,
+    EventCatalog,
+    EventType,
+    build_catalog,
+    default_catalog,
+)
+from repro.raslog.drift import ChainTemplate, Regime, RegimeSchedule
+from repro.raslog.events import FACILITIES, Facility, RASEvent, Severity
+from repro.raslog.generator import (
+    GeneratorConfig,
+    LogGenerator,
+    SyntheticLog,
+    generate_log,
+)
+from repro.raslog.parser import (
+    ParseError,
+    ParseReport,
+    dump_log,
+    format_line,
+    iter_lines,
+    load_log,
+    parse_line,
+)
+from repro.raslog.profiles import (
+    ANL_PROFILE,
+    PROFILES,
+    SDSC_PROFILE,
+    AnomalyWindow,
+    SystemProfile,
+    get_profile,
+)
+from repro.raslog.store import EventLog
+
+__all__ = [
+    "ANL_PROFILE",
+    "FACILITIES",
+    "PROFILES",
+    "SDSC_PROFILE",
+    "TABLE3_COUNTS",
+    "TOTAL_FATAL_TYPES",
+    "TOTAL_NONFATAL_TYPES",
+    "AnomalyWindow",
+    "ChainTemplate",
+    "EventCatalog",
+    "EventLog",
+    "EventType",
+    "Facility",
+    "GeneratorConfig",
+    "LogGenerator",
+    "ParseError",
+    "ParseReport",
+    "RASEvent",
+    "Regime",
+    "RegimeSchedule",
+    "Severity",
+    "SyntheticLog",
+    "SystemProfile",
+    "build_catalog",
+    "default_catalog",
+    "dump_log",
+    "format_line",
+    "generate_log",
+    "get_profile",
+    "iter_lines",
+    "load_log",
+    "parse_line",
+]

@@ -1,0 +1,491 @@
+"""Synthetic Blue Gene/L RAS log generator.
+
+Replaces the proprietary ANL / SDSC RAS dumps (see DESIGN.md for the
+substitution argument).  The generator produces two aligned views:
+
+* ``clean`` — the *logical* event stream (one record per unique event,
+  ``entry_data`` holding the catalog type code), i.e. what the paper's
+  preprocessing stage outputs and what the learners consume;
+* ``raw`` — the duplicated record stream the CMCS repository would hold
+  (``entry_data`` holding the free-text description), with each logical
+  event re-reported from several locations (spatial redundancy: every chip
+  of a job runs a polling agent) and several times per location (temporal
+  redundancy), which is what the filter must undo.
+
+The statistical structure mirrors what the paper's learners exploit:
+
+* failure inter-arrivals follow a Weibull renewal process with shape < 1
+  (Figure 5's fit), so failures cluster;
+* a fraction of failures spawn cascade bursts (Figure 4's bursty days, the
+  signal behind the statistical rules such as "four failures within 300 s
+  ⇒ another with probability 0.99");
+* ~25 % of failures are preceded by precursor chains drawn from the active
+  regime's templates (the paper reports up to 75 % of fatal events have no
+  precursor) — the association-rule signal;
+* templates drift slowly and are rewritten at reconfigurations
+  (:mod:`repro.raslog.drift`) — the reason dynamic retraining wins;
+* anomaly windows reproduce the ANL diagnostic storm and the SDSC
+  reconfiguration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.raslog.catalog import EventCatalog, EventType, default_catalog
+from repro.raslog.drift import RegimeSchedule
+from repro.raslog.events import Facility, RASEvent
+from repro.raslog.profiles import SystemProfile
+from repro.raslog.store import EventLog
+from repro.utils.randoms import SeedLike, SeedSequencePool
+from repro.utils.timeutil import WEEK_SECONDS
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorConfig:
+    """Knobs for one generation run.
+
+    ``scale`` multiplies all event *rates* (1.0 reproduces paper-calibrated
+    volume — note that a full ANL raw log is ~5.9 M records; keep
+    ``scale`` ≤ 0.05 or ``duplicates=False`` for interactive use).
+    """
+
+    scale: float = 1.0
+    weeks: int | None = None
+    duplicates: bool = True
+    seed: SeedLike = 0
+    #: Hard cap on raw records, a guard against accidental huge runs.
+    max_raw_events: int = 8_000_000
+    #: Cap duplicate report offsets below this (seconds) so that filtering
+    #: at the paper's 300 s threshold recovers the logical stream.
+    duplicate_spread: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.weeks is not None and self.weeks <= 0:
+            raise ValueError(f"weeks must be positive, got {self.weeks}")
+        if self.duplicate_spread <= 0:
+            raise ValueError("duplicate_spread must be positive")
+
+
+@dataclass
+class SyntheticLog:
+    """A generated trace plus its ground truth."""
+
+    profile: SystemProfile
+    config: GeneratorConfig
+    catalog: EventCatalog
+    schedule: RegimeSchedule
+    #: categorized logical events (entry_data = catalog code)
+    clean: EventLog
+    #: duplicated raw records (entry_data = description); None when
+    #: generated with ``duplicates=False``
+    raw: EventLog | None
+    #: times of true fatal events, sorted
+    fatal_times: np.ndarray
+    #: catalog codes of the fatal events, aligned with ``fatal_times``
+    fatal_codes: list[str] = field(default_factory=list)
+    #: indices into ``fatal_times`` of failures that received precursors
+    precursor_backed: list[int] = field(default_factory=list)
+
+    @property
+    def n_fatal(self) -> int:
+        return len(self.fatal_times)
+
+
+class _Draft:
+    """Mutable logical-event accumulator used during generation.
+
+    ``heavy_dup`` marks events subject to the full per-facility polling
+    duplication (chatty background messages, which is what the Table 4
+    raw/filtered ratios measure); fatal events, precursor chains and other
+    sparse signals are re-reported only lightly, as on the real machines.
+    """
+
+    __slots__ = ("times", "codes", "job_ids", "locations", "heavy_dup")
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.codes: list[str] = []
+        self.job_ids: list[int] = []
+        self.locations: list[str] = []
+        self.heavy_dup: list[bool] = []
+
+    def add(
+        self, t: float, code: str, job_id: int, location: str, heavy: bool = False
+    ) -> None:
+        self.times.append(t)
+        self.codes.append(code)
+        self.job_ids.append(job_id)
+        self.locations.append(location)
+        self.heavy_dup.append(heavy)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class LogGenerator:
+    """Builds :class:`SyntheticLog` instances from a profile."""
+
+    def __init__(
+        self,
+        profile: SystemProfile,
+        config: GeneratorConfig | None = None,
+        catalog: EventCatalog | None = None,
+    ) -> None:
+        self.config = config or GeneratorConfig()
+        self.profile = profile.scaled(self.config.scale, self.config.weeks)
+        self.catalog = catalog or default_catalog()
+        self._seeds = SeedSequencePool(self.config.seed)
+        self.schedule = RegimeSchedule(self.profile, self.catalog, self._seeds)
+        self._locations = self._build_locations()
+        self._nodes_per_job = max(1, len(self._locations) // self.profile.concurrent_jobs)
+
+    # -- topology ---------------------------------------------------------
+
+    def _build_locations(self) -> list[str]:
+        locs: list[str] = []
+        nodes_per_midplane = max(
+            1,
+            self.profile.compute_nodes
+            // max(1, self.profile.racks * self.profile.midplanes_per_rack),
+        )
+        # Model node *cards* rather than individual chips to keep the
+        # location namespace realistic but bounded.
+        cards = max(1, nodes_per_midplane // 32)
+        for r in range(self.profile.racks):
+            for m in range(self.profile.midplanes_per_rack):
+                for n in range(cards):
+                    locs.append(f"R{r:02d}-M{m}-N{n:02d}")
+        return locs
+
+    def _job_context(
+        self, t: float, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        """(job_id, partition index) active at time ``t``."""
+        slot = int(t // self.profile.mean_job_seconds)
+        partition = int(rng.integers(self.profile.concurrent_jobs))
+        return slot * self.profile.concurrent_jobs + partition, partition
+
+    def _location_in_partition(
+        self, partition: int, rng: np.random.Generator
+    ) -> str:
+        per = max(1, len(self._locations) // self.profile.concurrent_jobs)
+        base = (partition * per) % len(self._locations)
+        offset = int(rng.integers(per))
+        return self._locations[(base + offset) % len(self._locations)]
+
+    # -- failure process ----------------------------------------------------
+
+    def _fatal_arrivals(self, rng: np.random.Generator) -> np.ndarray:
+        """Regime-modulated Weibull renewal process with cascade bursts.
+
+        Primary arrivals renew with a per-regime rate multiplier; each
+        primary may spawn a cascade, whose class mix (short burst vs long
+        storm) is also regime-dependent.  That drift in the process itself
+        is what ages statically trained statistical and distribution rules.
+        """
+        duration = self.profile.duration_seconds
+        base_mean_gap = WEEK_SECONDS / self.profile.fatal_weekly_rate
+        shape = self.profile.weibull_shape
+        base_lam = base_mean_gap / math.gamma(1.0 + 1.0 / shape)
+
+        primaries_list: list[float] = []
+        t = 0.0
+        for start_week, end_week, regime in self.schedule.spans():
+            span_start = start_week * WEEK_SECONDS
+            span_end = min(end_week * WEEK_SECONDS, duration)
+            lam = base_lam / regime.rate_multiplier
+            t = max(t, span_start)
+            while True:
+                t += float(lam * rng.weibull(shape))
+                if t >= span_end:
+                    break
+                primaries_list.append(t)
+            # A renewal gap that overruns the span restarts in the next
+            # regime, a small boundary artifact that keeps spans i.i.d.
+            t = min(t, span_end)
+        primaries = np.asarray(primaries_list, dtype=np.float64)
+
+        # Cascade expansion: bursts of follow-on failures.  Two classes:
+        # short correlated bursts, and long storms whose heavy tail makes
+        # "k failures within the window" a strong predictor of more.
+        extras: list[float] = []
+        for t0 in primaries:
+            regime = self.schedule.regime_at(int(t0 // WEEK_SECONDS))
+            if rng.random() >= regime.cascade_prob:
+                continue
+            if rng.random() < regime.storm_prob:
+                size = 4 + int(rng.poisson(max(self.profile.storm_size_mean - 4.0, 0.0)))
+                gap_mean = self.profile.storm_gap_mean * regime.burst_gap_scale
+            else:
+                size = 1 + int(
+                    rng.poisson(max(self.profile.cascade_size_mean - 1.0, 0.0))
+                )
+                gap_mean = self.profile.cascade_gap_mean * regime.burst_gap_scale
+            offsets = np.cumsum(rng.exponential(gap_mean, size=size))
+            for dt in offsets:
+                tc = float(t0 + dt)
+                if tc < duration:
+                    extras.append(tc)
+        all_times = np.concatenate([primaries, np.asarray(extras, dtype=np.float64)])
+        all_times.sort()
+        return all_times
+
+    def _assign_fatal_codes(
+        self, times: np.ndarray, rng: np.random.Generator
+    ) -> list[str]:
+        codes: list[str] = []
+        prev_time = -math.inf
+        prev_code: str | None = None
+        for t in times:
+            regime = self.schedule.regime_at(int(t // WEEK_SECONDS))
+            # Within a cascade the same fault tends to recur.
+            if (
+                prev_code is not None
+                and t - prev_time < 4.0 * self.profile.cascade_gap_mean
+                and rng.random() < 0.6
+                and prev_code in regime.fatal_codes
+            ):
+                codes.append(prev_code)
+            else:
+                idx = int(rng.choice(len(regime.fatal_codes), p=regime.fatal_weights))
+                codes.append(regime.fatal_codes[idx])
+            prev_time, prev_code = t, codes[-1]
+        return codes
+
+    # -- logical stream -------------------------------------------------------
+
+    def _emit_failures(
+        self, draft: _Draft, rng: np.random.Generator
+    ) -> tuple[np.ndarray, list[str], list[int]]:
+        times = self._fatal_arrivals(rng)
+        codes = self._assign_fatal_codes(times, rng)
+        lead_lo, lead_hi = self.profile.precursor_lead
+        backed: list[int] = []
+        for i, (t, code) in enumerate(zip(times, codes)):
+            job_id, partition = self._job_context(float(t), rng)
+            location = self._location_in_partition(partition, rng)
+            draft.add(float(t), code, job_id, location)
+            if rng.random() >= self.profile.precursor_fraction:
+                continue
+            regime = self.schedule.regime_at(int(t // WEEK_SECONDS))
+            template = regime.template_for(code)
+            if template is None:
+                continue
+            emitted = False
+            for p_idx, precursor in enumerate(template.precursors):
+                if rng.random() > self.profile.precursor_reliability:
+                    continue
+                # Truncated-exponential lead at the template's own scale
+                # (see ChainTemplate.lead_scale); flooding templates emit
+                # their first precursor several times within the lead span.
+                repeats = template.flood_factor if p_idx == 0 else 1
+                lead = lead_lo + float(rng.exponential(template.lead_scale))
+                lead = min(lead, lead_hi)
+                for rep in range(repeats):
+                    offset = 0.0 if rep == 0 else float(
+                        rng.uniform(0.0, min(lead - lead_lo, 240.0))
+                    )
+                    tp = float(t) - lead + offset
+                    if tp <= 0 or tp >= t:
+                        continue
+                    draft.add(tp, precursor, job_id, location)
+                    emitted = True
+            if emitted:
+                backed.append(i)
+        return times, codes, backed
+
+    def _weekly_rate(self, facility: Facility, week: int) -> float:
+        rate = self.profile.nonfatal_weekly_rates.get(facility, 0.0)
+        for anomaly in self.profile.anomalies:
+            if (
+                anomaly.kind == "storm"
+                and anomaly.covers(week)
+                and facility in anomaly.facilities
+            ):
+                rate *= anomaly.intensity
+        return rate
+
+    def _emit_background(self, draft: _Draft, rng: np.random.Generator) -> None:
+        for facility in self.profile.nonfatal_weekly_rates:
+            types = [
+                t
+                for t in self.catalog.types_for(facility, fatal=False)
+                if not t.fake_fatal
+            ]
+            if not types:
+                continue
+            # Zipf-ish popularity: a few chatty types dominate, as in the
+            # real logs (e.g. corrected-parity KERNEL INFO records).
+            weights = 1.0 / np.arange(1, len(types) + 1, dtype=np.float64)
+            weights /= weights.sum()
+            for week in range(self.profile.weeks):
+                rate = self._weekly_rate(facility, week)
+                if rate <= 0:
+                    continue
+                n = int(rng.poisson(rate))
+                if n == 0:
+                    continue
+                base = week * WEEK_SECONDS
+                times = base + rng.uniform(0.0, WEEK_SECONDS, size=n)
+                picks = rng.choice(len(types), size=n, p=weights)
+                for t, k in zip(times, picks):
+                    job_id, partition = self._job_context(float(t), rng)
+                    location = self._location_in_partition(partition, rng)
+                    draft.add(
+                        float(t), types[int(k)].code, job_id, location, heavy=True
+                    )
+
+    def _emit_noise_precursors(self, draft: _Draft, rng: np.random.Generator) -> None:
+        """Precursor-code events *not* followed by a failure."""
+        rate = self.profile.noise_precursor_weekly_rate
+        if rate <= 0:
+            return
+        for week in range(self.profile.weeks):
+            templates = self.schedule.templates_at(week)
+            pool = sorted({p for t in templates for p in t.precursors})
+            if not pool:
+                continue
+            n = int(rng.poisson(rate))
+            base = week * WEEK_SECONDS
+            for _ in range(n):
+                t = float(base + rng.uniform(0.0, WEEK_SECONDS))
+                code = pool[int(rng.integers(len(pool)))]
+                job_id, partition = self._job_context(t, rng)
+                location = self._location_in_partition(partition, rng)
+                draft.add(t, code, job_id, location)
+
+    def _emit_fake_fatals(self, draft: _Draft, rng: np.random.Generator) -> None:
+        rate = self.profile.fake_fatal_weekly_rate
+        fakes = self.catalog.fake_fatal_types()
+        if rate <= 0 or not fakes:
+            return
+        n = int(rng.poisson(rate * self.profile.weeks))
+        times = rng.uniform(0.0, self.profile.duration_seconds, size=n)
+        for t in times:
+            ft = fakes[int(rng.integers(len(fakes)))]
+            job_id, partition = self._job_context(float(t), rng)
+            location = self._location_in_partition(partition, rng)
+            draft.add(float(t), ft.code, job_id, location)
+
+    # -- materialization --------------------------------------------------------
+
+    def _clean_events(self, draft: _Draft) -> EventLog:
+        order = np.argsort(np.asarray(draft.times, dtype=np.float64), kind="stable")
+        events = []
+        for rid, i in enumerate(order):
+            code = draft.codes[i]
+            etype = self.catalog.get(code)
+            events.append(
+                RASEvent(
+                    record_id=rid,
+                    event_type="RAS",
+                    timestamp=draft.times[i],
+                    job_id=draft.job_ids[i],
+                    location=draft.locations[i],
+                    entry_data=code,
+                    facility=etype.facility,
+                    severity=etype.severity,
+                )
+            )
+        return EventLog(events, origin=0.0, _presorted=True)
+
+    def _raw_events(self, draft: _Draft, rng: np.random.Generator) -> EventLog:
+        spread = self.config.duplicate_spread
+        times: list[float] = []
+        rows: list[tuple[str, int, str, EventType]] = []
+        duration = self.profile.duration_seconds
+        for i in range(len(draft)):
+            code = draft.codes[i]
+            etype = self.catalog.get(code)
+            fac = etype.facility
+            if draft.heavy_dup[i]:
+                spatial = self.profile.duplication_spatial.get(fac, 1.0)
+                temporal = self.profile.duplication_temporal.get(fac, 1.0)
+            else:
+                # Sparse signals (failures, precursors) are re-reported a
+                # couple of times, not storm-duplicated.
+                spatial = min(self.profile.duplication_spatial.get(fac, 1.0), 2.0)
+                temporal = min(self.profile.duplication_temporal.get(fac, 1.0), 2.0)
+            n_loc = 1 + int(rng.poisson(max(spatial - 1.0, 0.0)))
+            mean_rep = max(temporal - 1.0, 0.0)
+            partition = (draft.job_ids[i]) % self.profile.concurrent_jobs
+            locations = [draft.locations[i]]
+            for _ in range(n_loc - 1):
+                locations.append(self._location_in_partition(partition, rng))
+            for loc in locations:
+                n_rep = 1 + int(rng.poisson(mean_rep))
+                offsets = np.minimum(
+                    np.cumsum(rng.exponential(spread / 8.0, size=n_rep)) - 1.0,
+                    spread,
+                )
+                offsets[0] = max(offsets[0], 0.0)
+                for dt in offsets:
+                    t = draft.times[i] + float(max(dt, 0.0))
+                    if t >= duration:
+                        t = duration - 1e-3
+                    times.append(t)
+                    rows.append((loc, draft.job_ids[i], etype.description, etype))
+            if len(times) > self.config.max_raw_events:
+                raise RuntimeError(
+                    f"raw log exceeds max_raw_events={self.config.max_raw_events}; "
+                    "lower GeneratorConfig.scale or set duplicates=False"
+                )
+        order = np.argsort(np.asarray(times, dtype=np.float64), kind="stable")
+        events = []
+        for rid, j in enumerate(order):
+            loc, job_id, description, etype = rows[j]
+            events.append(
+                RASEvent(
+                    record_id=rid,
+                    event_type="RAS",
+                    timestamp=times[j],
+                    job_id=job_id,
+                    location=loc,
+                    entry_data=description,
+                    facility=etype.facility,
+                    severity=etype.severity,
+                )
+            )
+        return EventLog(events, origin=0.0, _presorted=True)
+
+    # -- entry point -----------------------------------------------------------
+
+    def generate(self) -> SyntheticLog:
+        draft = _Draft()
+        fatal_rng = self._seeds.stream("fatal")
+        fatal_times, fatal_codes, backed = self._emit_failures(draft, fatal_rng)
+        self._emit_background(draft, self._seeds.stream("background"))
+        self._emit_noise_precursors(draft, self._seeds.stream("noise"))
+        self._emit_fake_fatals(draft, self._seeds.stream("fake"))
+        clean = self._clean_events(draft)
+        raw = (
+            self._raw_events(draft, self._seeds.stream("duplication"))
+            if self.config.duplicates
+            else None
+        )
+        return SyntheticLog(
+            profile=self.profile,
+            config=self.config,
+            catalog=self.catalog,
+            schedule=self.schedule,
+            clean=clean,
+            raw=raw,
+            fatal_times=fatal_times,
+            fatal_codes=fatal_codes,
+            precursor_backed=backed,
+        )
+
+
+def generate_log(
+    profile: SystemProfile,
+    config: GeneratorConfig | None = None,
+    catalog: EventCatalog | None = None,
+) -> SyntheticLog:
+    """Convenience wrapper: build a generator and run it once."""
+    return LogGenerator(profile, config, catalog).generate()

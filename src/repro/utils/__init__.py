@@ -1,0 +1,33 @@
+"""Shared utilities: time arithmetic, RNG handling, table formatting."""
+
+from repro.utils.randoms import SeedSequencePool, rng_from_seed
+from repro.utils.tables import TableResult, format_table
+from repro.utils.timeutil import (
+    DAY_SECONDS,
+    HOUR_SECONDS,
+    MINUTE_SECONDS,
+    MONTH_SECONDS,
+    WEEK_SECONDS,
+    day_index,
+    months,
+    week_index,
+    week_span,
+    weeks,
+)
+
+__all__ = [
+    "DAY_SECONDS",
+    "HOUR_SECONDS",
+    "MINUTE_SECONDS",
+    "MONTH_SECONDS",
+    "WEEK_SECONDS",
+    "SeedSequencePool",
+    "TableResult",
+    "day_index",
+    "format_table",
+    "months",
+    "rng_from_seed",
+    "week_index",
+    "week_span",
+    "weeks",
+]

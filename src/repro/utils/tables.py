@@ -1,0 +1,95 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment driver returns a :class:`TableResult` holding the rows a
+paper table or figure reports; benchmarks print them with
+:func:`format_table` so the reproduction can be eyeballed against the paper
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def _cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+@dataclass
+class TableResult:
+    """A titled grid of rows, the unit of output for every experiment.
+
+    ``rows`` maps column name to value; all rows must share the header of
+    the first row.  ``meta`` carries experiment parameters (seed, scale,
+    windows) so a printed table is self-describing.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        missing = [c for c in self.columns if c not in values]
+        extra = [c for c in values if c not in self.columns]
+        if missing or extra:
+            raise ValueError(
+                f"row keys do not match columns: missing={missing} extra={extra}"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in table {self.title!r}")
+        return [row[name] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def render(self, floatfmt: str = ".3f") -> str:
+        return format_table(self, floatfmt=floatfmt)
+
+
+def format_table(
+    table: TableResult | Mapping[str, Iterable[Any]],
+    floatfmt: str = ".3f",
+) -> str:
+    """Render a :class:`TableResult` (or column mapping) as aligned text."""
+    if isinstance(table, TableResult):
+        title = table.title
+        columns = list(table.columns)
+        rows = [[_cell(r[c], floatfmt) for c in columns] for r in table.rows]
+        meta = table.meta
+    else:
+        title = ""
+        columns = list(table.keys())
+        data = [list(v) for v in table.values()]
+        if data and len({len(col) for col in data}) > 1:
+            raise ValueError("all columns must have the same length")
+        rows = [
+            [_cell(col[i], floatfmt) for col in data]
+            for i in range(len(data[0]) if data else 0)
+        ]
+        meta = {}
+
+    widths = [
+        max(len(columns[j]), *(len(r[j]) for r in rows)) if rows else len(columns[j])
+        for j in range(len(columns))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if meta:
+        lines.append("  " + "  ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Time arithmetic helpers.
+
+All timestamps in the library are plain floats measured in seconds from an
+arbitrary epoch (for synthetic logs, the start of the trace; for parsed
+LogHub logs, the UNIX epoch).  Week and month arithmetic follows the paper's
+conventions: a "week" is exactly seven days and a "month" is approximated as
+30 days, which is how the paper's 3-/6-month sliding training windows are
+interpreted.
+"""
+
+from __future__ import annotations
+
+MINUTE_SECONDS = 60.0
+HOUR_SECONDS = 60.0 * MINUTE_SECONDS
+DAY_SECONDS = 24.0 * HOUR_SECONDS
+WEEK_SECONDS = 7.0 * DAY_SECONDS
+MONTH_SECONDS = 30.0 * DAY_SECONDS
+
+
+def weeks(n: float) -> float:
+    """Duration of *n* weeks in seconds."""
+    return float(n) * WEEK_SECONDS
+
+
+def months(n: float) -> float:
+    """Duration of *n* 30-day months in seconds."""
+    return float(n) * MONTH_SECONDS
+
+
+def week_index(timestamp: float, origin: float = 0.0) -> int:
+    """Zero-based week number containing *timestamp* relative to *origin*."""
+    if timestamp < origin:
+        raise ValueError(
+            f"timestamp {timestamp!r} precedes the trace origin {origin!r}"
+        )
+    return int((timestamp - origin) // WEEK_SECONDS)
+
+
+def day_index(timestamp: float, origin: float = 0.0) -> int:
+    """Zero-based day number containing *timestamp* relative to *origin*."""
+    if timestamp < origin:
+        raise ValueError(
+            f"timestamp {timestamp!r} precedes the trace origin {origin!r}"
+        )
+    return int((timestamp - origin) // DAY_SECONDS)
+
+
+def week_span(week: int, origin: float = 0.0) -> tuple[float, float]:
+    """Half-open time interval ``[start, end)`` of the given week number."""
+    if week < 0:
+        raise ValueError(f"week number must be non-negative, got {week}")
+    start = origin + week * WEEK_SECONDS
+    return start, start + WEEK_SECONDS

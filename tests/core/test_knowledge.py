@@ -1,0 +1,96 @@
+"""Unit tests for the knowledge repository."""
+
+import pytest
+
+from repro.core.knowledge import KnowledgeRepository, RuleRecord
+from repro.learners.rules import AssociationRule, StatisticalRule
+
+
+def record(consequent="KERNEL-F-000", item="KERNEL-N-001", learner="association"):
+    rule = AssociationRule(
+        antecedent=frozenset({item}),
+        consequent=consequent,
+        support=0.1,
+        confidence=0.9,
+    )
+    return RuleRecord(rule=rule, learner=learner, trained_at_week=0)
+
+
+class TestRuleRecord:
+    def test_key_delegates_to_rule(self):
+        r = record()
+        assert r.key == r.rule.key
+
+    def test_with_scores(self):
+        scored = record().with_scores(tp=5, fp=1, fn=2, roc=0.9)
+        assert (scored.tp, scored.fp, scored.fn) == (5, 1, 2)
+        assert scored.roc == 0.9
+        assert scored.rule == record().rule  # rule unchanged
+
+
+class TestRepository:
+    def test_add_and_get(self):
+        repo = KnowledgeRepository()
+        r = record()
+        repo.add(r)
+        assert len(repo) == 1
+        assert repo.get(r.key) is r
+        assert r.key in repo
+
+    def test_duplicate_key_rejected(self):
+        repo = KnowledgeRepository([record()])
+        with pytest.raises(ValueError, match="duplicate"):
+            repo.add(record())
+
+    def test_get_missing(self):
+        with pytest.raises(KeyError, match="no rule"):
+            KnowledgeRepository().get(("nope",))
+
+    def test_records_sorted_deterministically(self):
+        r1 = record(item="KERNEL-N-005")
+        r2 = record(item="KERNEL-N-001")
+        s = RuleRecord(
+            rule=StatisticalRule(k=2, window=300.0, probability=0.9),
+            learner="statistical",
+            trained_at_week=0,
+        )
+        repo = KnowledgeRepository([s, r1, r2])
+        kinds = [rec.rule.kind for rec in repo.records()]
+        assert kinds == ["association", "association", "statistical"]
+
+    def test_rules_matches_records(self):
+        repo = KnowledgeRepository([record()])
+        assert repo.rules() == [rec.rule for rec in repo.records()]
+
+    def test_by_learner(self):
+        s = RuleRecord(
+            rule=StatisticalRule(k=2, window=300.0, probability=0.9),
+            learner="statistical",
+            trained_at_week=0,
+        )
+        repo = KnowledgeRepository([record(), s])
+        assert len(repo.by_learner("association")) == 1
+        assert len(repo.by_learner("statistical")) == 1
+        assert repo.by_learner("distribution") == []
+
+    def test_replace_all(self):
+        repo = KnowledgeRepository([record()])
+        new = record(consequent="KERNEL-F-002")
+        repo.replace_all([new])
+        assert len(repo) == 1
+        assert new.key in repo
+
+    def test_keys(self):
+        r = record()
+        assert KnowledgeRepository([r]).keys() == {r.key}
+
+    def test_snapshot_is_independent(self):
+        repo = KnowledgeRepository([record()])
+        snap = repo.snapshot()
+        repo.replace_all([])
+        assert len(snap) == 1
+        assert len(repo) == 0
+
+    def test_iteration(self):
+        repo = KnowledgeRepository([record()])
+        assert [r.key for r in repo] == [record().key]

@@ -1,0 +1,127 @@
+"""Tests for the online (streaming) prediction session."""
+
+import pytest
+
+from repro.core.framework import DynamicMetaLearningFramework, FrameworkConfig
+from repro.core.online import OnlinePredictionSession
+from repro.core.windows import static_initial
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.conftest import make_event
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FrameworkConfig(initial_train_weeks=20, retrain_weeks=4)
+
+
+class TestBatchEquivalence:
+    def test_same_warnings_as_batch(self, mid_trace, config):
+        """The headline guarantee: streaming a log event-by-event yields
+        exactly the warning stream of a batch framework run."""
+        log = mid_trace.clean
+        batch = DynamicMetaLearningFramework(
+            config, catalog=mid_trace.catalog
+        ).run(log)
+        session = OnlinePredictionSession(config, catalog=mid_trace.catalog)
+        streamed = []
+        for event in log:
+            streamed.extend(session.ingest(event))
+        assert streamed == batch.warnings
+        assert session.warnings == batch.warnings
+
+    def test_same_retraining_schedule(self, mid_trace, config):
+        log = mid_trace.clean
+        batch = DynamicMetaLearningFramework(
+            config, catalog=mid_trace.catalog
+        ).run(log)
+        session = OnlinePredictionSession(config, catalog=mid_trace.catalog)
+        for event in log:
+            session.ingest(event)
+        assert [r.week for r in session.retrains] == [
+            r.week for r in batch.retrains
+        ]
+        assert [r.train_span for r in session.retrains] == [
+            r.train_span for r in batch.retrains
+        ]
+        assert session.churn.series() == batch.churn.series()
+
+    def test_summary_matches_batch_metrics(self, mid_trace, config):
+        log = mid_trace.clean
+        batch = DynamicMetaLearningFramework(
+            config, catalog=mid_trace.catalog
+        ).run(log)
+        session = OnlinePredictionSession(config, catalog=mid_trace.catalog)
+        for event in log:
+            session.ingest(event)
+        summary = session.summary()
+        assert summary.precision == pytest.approx(batch.overall.precision)
+        assert summary.recall == pytest.approx(batch.overall.recall)
+
+
+class TestStreamDiscipline:
+    def test_silent_during_initial_training(self, catalog, config):
+        session = OnlinePredictionSession(config, catalog=catalog)
+        w = session.ingest(make_event(100.0, "KERNEL-N-000"))
+        assert w == []
+        assert not session.started
+
+    def test_out_of_order_rejected(self, catalog, config):
+        session = OnlinePredictionSession(config, catalog=catalog)
+        session.ingest(make_event(100.0, "KERNEL-N-000"))
+        with pytest.raises(ValueError, match="time order"):
+            session.ingest(make_event(50.0, "KERNEL-N-000"))
+
+    def test_event_before_origin_rejected(self, catalog, config):
+        session = OnlinePredictionSession(
+            config, catalog=catalog, origin=1000.0
+        )
+        with pytest.raises(ValueError, match="precedes"):
+            session.ingest(make_event(10.0, "KERNEL-N-000"))
+
+    def test_advance_backwards_rejected(self, catalog, config):
+        session = OnlinePredictionSession(config, catalog=catalog)
+        session.advance(500.0)
+        with pytest.raises(ValueError, match="backwards"):
+            session.advance(100.0)
+
+    def test_current_week_tracks_clock(self, catalog, config):
+        session = OnlinePredictionSession(config, catalog=catalog)
+        session.advance(3 * WEEK_SECONDS + 10.0)
+        assert session.current_week == 3
+
+    def test_history_accumulates(self, catalog, config):
+        session = OnlinePredictionSession(config, catalog=catalog)
+        for t in (10.0, 20.0, 30.0):
+            session.ingest(make_event(t, "KERNEL-N-000"))
+        assert len(session.history()) == 3
+
+    def test_static_policy_trains_once(self, mid_trace, catalog):
+        config = FrameworkConfig(
+            initial_train_weeks=20, policy=static_initial(4)
+        )
+        session = OnlinePredictionSession(config, catalog=mid_trace.catalog)
+        for event in mid_trace.clean:
+            session.ingest(event)
+        assert len(session.retrains) == 1
+
+    def test_sparse_stream_crosses_multiple_boundaries(self, mid_trace, catalog):
+        """A long silent gap spanning several retraining boundaries only
+        applies the latest retraining (as the batch framework would when
+        those weeks contain no events)."""
+        config = FrameworkConfig(initial_train_weeks=20, retrain_weeks=4)
+        session = OnlinePredictionSession(config, catalog=mid_trace.catalog)
+        # feed 22 weeks of real data, then jump to week 35
+        for event in mid_trace.clean.slice_weeks(0, 22):
+            session.ingest(event)
+        session.ingest(make_event(35 * WEEK_SECONDS + 5.0, "KERNEL-N-000"))
+        weeks = [r.week for r in session.retrains]
+        assert weeks[0] == 20
+        assert weeks[-1] == 32  # 20, 24, 28, 32 all crossed
+        assert weeks == [20, 24, 28, 32]
+
+    def test_summary_before_start(self, catalog, config):
+        session = OnlinePredictionSession(config, catalog=catalog)
+        summary = session.summary()
+        assert summary.n_warnings == 0
+        assert summary.precision == 0.0
+        assert summary.recall == 0.0

@@ -1,0 +1,333 @@
+"""Unit tests for the event-driven predictor (Algorithm 2)."""
+
+import pytest
+
+from repro.core.predictor import Predictor
+from repro.learners.rules import (
+    ANY_FAILURE,
+    AssociationRule,
+    DistributionRule,
+    StatisticalRule,
+)
+from repro.raslog.events import Severity
+from tests.conftest import make_event, make_log
+
+FATAL = "KERNEL-F-000"
+FATAL2 = "KERNEL-F-001"
+W1, W2 = "KERNEL-N-002", "KERNEL-N-003"
+
+
+def assoc(antecedent, consequent=FATAL, confidence=0.9):
+    return AssociationRule(
+        antecedent=frozenset(antecedent),
+        consequent=consequent,
+        support=0.1,
+        confidence=confidence,
+    )
+
+
+def stat(k, window=300.0, p=0.9):
+    return StatisticalRule(k=k, window=window, probability=p)
+
+
+def dist(quantile=1000.0, threshold=0.6):
+    return DistributionRule(
+        distribution="weibull",
+        params=(1.0, quantile),
+        threshold=threshold,
+        quantile_time=quantile,
+    )
+
+
+def fatal_event(t):
+    return make_event(t, FATAL, severity=Severity.FATAL)
+
+
+def warn_event(t, code=W1):
+    return make_event(t, code, severity=Severity.WARNING)
+
+
+class TestConstruction:
+    def test_rules_partitioned(self, catalog):
+        p = Predictor([assoc({W1}), stat(2), dist()], 300.0, catalog)
+        assert len(p.association_rules) == 1
+        assert len(p.statistical_rules) == 1
+        assert len(p.distribution_rules) == 1
+        assert p.n_rules == 3
+
+    def test_f_and_e_lists(self, catalog):
+        r1, r2 = assoc({W1, W2}), assoc({W1}, consequent=FATAL2)
+        p = Predictor([r1, r2], 300.0, catalog)
+        assert set(p.f_list) == {FATAL, FATAL2}
+        assert p.e_list[W1] == {FATAL, FATAL2}
+        assert p.e_list[W2] == {FATAL}
+
+    def test_invalid_window(self, catalog):
+        with pytest.raises(ValueError, match="window"):
+            Predictor([], 0.0, catalog)
+
+    def test_invalid_ensemble(self, catalog):
+        with pytest.raises(ValueError, match="ensemble"):
+            Predictor([], 300.0, catalog, ensemble="voting")
+
+    def test_invalid_horizon_cap(self, catalog):
+        with pytest.raises(ValueError, match="dist_horizon_cap"):
+            Predictor([], 300.0, catalog, dist_horizon_cap=0.0)
+
+    def test_unsupported_rule_type(self, catalog):
+        with pytest.raises(TypeError, match="unsupported rule"):
+            Predictor(["not a rule"], 300.0, catalog)
+
+
+class TestAssociationMatching:
+    def test_fires_when_antecedent_complete(self, catalog):
+        p = Predictor([assoc({W1, W2})], 300.0, catalog)
+        assert p.observe(warn_event(10.0, W1)) == []
+        warnings = p.observe(warn_event(20.0, W2))
+        assert len(warnings) == 1
+        assert warnings[0].predicted == FATAL
+        assert warnings[0].learner == "association"
+        assert warnings[0].time == 20.0
+        assert warnings[0].deadline == 320.0
+
+    def test_single_item_rule_fires_immediately(self, catalog):
+        p = Predictor([assoc({W1})], 300.0, catalog)
+        assert len(p.observe(warn_event(5.0, W1))) == 1
+
+    def test_stale_precursor_expires(self, catalog):
+        p = Predictor([assoc({W1, W2})], 300.0, catalog)
+        p.observe(warn_event(10.0, W1))
+        # W1 fell out of the window by the time W2 arrives
+        assert p.observe(warn_event(400.0, W2)) == []
+
+    def test_refractory_suppresses_duplicate(self, catalog):
+        p = Predictor([assoc({W1})], 300.0, catalog)
+        assert len(p.observe(warn_event(10.0, W1))) == 1
+        assert p.observe(warn_event(20.0, W1)) == []
+        # after the refractory period it may fire again
+        assert len(p.observe(warn_event(320.0, W1))) == 1
+
+    def test_unrelated_event_ignored(self, catalog):
+        p = Predictor([assoc({W1})], 300.0, catalog)
+        assert p.observe(warn_event(10.0, "KERNEL-N-050")) == []
+
+    def test_fatal_event_does_not_trigger_association(self, catalog):
+        # mixture of experts: fatal events consult statistical rules
+        p = Predictor([assoc({W1})], 300.0, catalog)
+        p.observe(warn_event(10.0, W1))  # consume refractory
+        assert p.observe(fatal_event(20.0)) == []
+
+
+class TestStatisticalMatching:
+    def test_fires_at_burst_threshold(self, catalog):
+        p = Predictor([stat(2)], 300.0, catalog)
+        assert p.observe(fatal_event(10.0)) == []
+        warnings = p.observe(fatal_event(50.0))
+        assert len(warnings) == 1
+        assert warnings[0].predicted == ANY_FAILURE
+        assert warnings[0].learner == "statistical"
+
+    def test_most_specific_rule_wins(self, catalog):
+        p = Predictor([stat(2), stat(3)], 300.0, catalog)
+        p.observe(fatal_event(10.0))
+        w2 = p.observe(fatal_event(20.0))
+        assert w2[0].rule_key == stat(2).key
+        w3 = p.observe(fatal_event(30.0))
+        assert w3[0].rule_key == stat(3).key
+
+    def test_burst_window_expires(self, catalog):
+        p = Predictor([stat(2)], 300.0, catalog)
+        p.observe(fatal_event(10.0))
+        assert p.observe(fatal_event(1000.0)) == []
+
+
+class TestDistributionMatching:
+    def test_fires_after_quantile_elapsed(self, catalog):
+        p = Predictor([dist(quantile=1000.0)], 300.0, catalog)
+        p.observe(fatal_event(0.0))
+        assert p.observe(warn_event(500.0)) == []
+        warnings = p.observe(warn_event(1200.0))
+        assert len(warnings) == 1
+        assert warnings[0].learner == "distribution"
+
+    def test_never_fires_before_first_failure(self, catalog):
+        p = Predictor([dist(quantile=10.0)], 300.0, catalog)
+        assert p.observe(warn_event(5000.0)) == []
+
+    def test_rearms_after_horizon(self, catalog):
+        p = Predictor([dist(quantile=1000.0)], 300.0, catalog)
+        p.observe(fatal_event(0.0))
+        first = p.observe(warn_event(1100.0))
+        assert len(first) == 1
+        horizon = first[0].window
+        # silent until one horizon later
+        assert p.observe(warn_event(1100.0 + horizon / 2)) == []
+        again = p.observe(warn_event(1200.0 + horizon))
+        assert len(again) == 1
+
+    def test_failure_resets_elapsed(self, catalog):
+        p = Predictor([dist(quantile=1000.0), stat(5)], 300.0, catalog)
+        p.observe(fatal_event(0.0))
+        p.observe(fatal_event(900.0))  # resets the clock
+        assert p.observe(warn_event(1500.0)) == []  # only 600 s elapsed
+
+    def test_horizon_capped(self, catalog):
+        p = Predictor(
+            [dist(quantile=100_000.0)], 300.0, catalog, dist_horizon_cap=3600.0
+        )
+        p.observe(fatal_event(0.0))
+        warnings = p.observe(warn_event(150_000.0))
+        assert warnings[0].window == 3600.0
+
+    def test_horizon_at_least_wp(self, catalog):
+        p = Predictor([dist(quantile=50.0)], 300.0, catalog)
+        p.observe(fatal_event(0.0))
+        warnings = p.observe(warn_event(100.0))
+        assert warnings[0].window == 300.0
+
+
+class TestEnsemblePolicies:
+    def test_experts_mode_silences_fallback(self, catalog):
+        # association match means the distribution expert is not consulted
+        p = Predictor([assoc({W1}), dist(quantile=10.0)], 300.0, catalog)
+        p.observe(fatal_event(0.0))
+        warnings = p.observe(warn_event(1000.0, W1))
+        assert [w.learner for w in warnings] == ["association"]
+
+    def test_union_mode_fires_all(self, catalog):
+        p = Predictor(
+            [assoc({W1}), dist(quantile=10.0)], 300.0, catalog, ensemble="union"
+        )
+        p.observe(fatal_event(0.0))
+        warnings = p.observe(warn_event(1000.0, W1))
+        assert {w.learner for w in warnings} == {"association", "distribution"}
+
+
+class TestClockDiscipline:
+    def test_out_of_order_event_rejected(self, catalog):
+        p = Predictor([], 300.0, catalog)
+        p.observe(warn_event(100.0))
+        with pytest.raises(ValueError, match="time order"):
+            p.observe(warn_event(50.0))
+
+    def test_advance_backwards_rejected(self, catalog):
+        p = Predictor([], 300.0, catalog)
+        p.advance(100.0)
+        with pytest.raises(ValueError, match="backwards"):
+            p.advance(50.0)
+
+    def test_advance_fires_time_triggered(self, catalog):
+        p = Predictor([dist(quantile=1000.0)], 300.0, catalog)
+        p.observe(fatal_event(0.0))
+        assert p.advance(500.0) == []
+        assert len(p.advance(1500.0)) == 1
+
+
+class TestReplay:
+    def test_replay_equals_manual_observe(self, catalog):
+        rules = [assoc({W1, W2})]
+        log = make_log(
+            [
+                (10.0, W1, {"severity": Severity.WARNING}),
+                (20.0, W2, {"severity": Severity.WARNING}),
+                (100.0, FATAL, {"severity": Severity.FATAL}),
+            ]
+        )
+        p1 = Predictor(rules, 300.0, catalog)
+        replayed = p1.replay(log, tick=None)
+        p2 = Predictor(rules, 300.0, catalog)
+        manual = [w for e in log for w in p2.observe(e)]
+        assert replayed == manual
+
+    def test_replay_with_timer_fires_between_events(self, catalog):
+        log = make_log(
+            [
+                (0.0, FATAL, {"severity": Severity.FATAL}),
+                (10_000.0, W1, {"severity": Severity.WARNING}),
+            ]
+        )
+        p = Predictor([dist(quantile=1000.0)], 300.0, catalog)
+        warnings = p.replay(log, tick=60.0)
+        dist_warnings = [w for w in warnings if w.learner == "distribution"]
+        assert dist_warnings
+        # the first timer firing lands on the tick grid after the quantile
+        assert dist_warnings[0].time == pytest.approx(1020.0)
+
+    def test_replay_without_timer_waits_for_events(self, catalog):
+        log = make_log(
+            [
+                (0.0, FATAL, {"severity": Severity.FATAL}),
+                (10_000.0, W1, {"severity": Severity.WARNING}),
+            ]
+        )
+        p = Predictor([dist(quantile=1000.0)], 300.0, catalog)
+        warnings = p.replay(log, tick=None)
+        assert [w.time for w in warnings if w.learner == "distribution"] == [10_000.0]
+
+    def test_replay_invalid_tick(self, catalog):
+        with pytest.raises(ValueError, match="tick"):
+            Predictor([], 300.0, catalog).replay(make_log([]), tick=0.0)
+
+    def test_monitoring_set_pruned(self, catalog):
+        p = Predictor([], 300.0, catalog)
+        for t in (0.0, 100.0, 200.0, 600.0):
+            p.observe(warn_event(t))
+        assert [t for t, _ in p.state.monitoring] == [600.0]
+
+
+class TestWeightedEnsemble:
+    def test_filters_low_weight_rules(self, catalog):
+        heavy = assoc({W1})
+        light = assoc({W2}, consequent=FATAL2)
+        weights = {heavy.key: 0.9, light.key: 0.1}
+        p = Predictor(
+            [heavy, light], 300.0, catalog,
+            ensemble="weighted", rule_weights=weights,
+        )
+        assert len(p.observe(warn_event(10.0, W1))) == 1
+        assert p.observe(warn_event(20.0, W2)) == []
+
+    def test_unknown_rules_default_to_half(self, catalog):
+        p = Predictor(
+            [assoc({W1})], 300.0, catalog,
+            ensemble="weighted", weight_threshold=0.5,
+        )
+        assert len(p.observe(warn_event(10.0, W1))) == 1  # 0.5 >= 0.5
+
+    def test_threshold_validation(self, catalog):
+        with pytest.raises(ValueError, match="weight_threshold"):
+            Predictor([], 300.0, catalog, weight_threshold=1.5)
+
+    def test_weighted_fires_all_experts(self, catalog):
+        # like union, every expert speaks (subject to the weight filter)
+        weights = {assoc({W1}).key: 0.9, dist(quantile=10.0).key: 0.9}
+        p = Predictor(
+            [assoc({W1}), dist(quantile=10.0)], 300.0, catalog,
+            ensemble="weighted", rule_weights=weights,
+        )
+        p.observe(fatal_event(0.0))
+        warnings = p.observe(warn_event(1000.0, W1))
+        assert {w.learner for w in warnings} == {"association", "distribution"}
+
+
+class TestFeedAndCatchUp:
+    def test_feed_equals_catchup_plus_observe(self, catalog):
+        rules = [dist(quantile=1000.0)]
+        p1 = Predictor(rules, 300.0, catalog)
+        p1.observe(fatal_event(0.0))
+        combined = p1.feed(warn_event(5000.0), tick=60.0)
+
+        p2 = Predictor(rules, 300.0, catalog)
+        p2.observe(fatal_event(0.0))
+        split = p2.catch_up(5000.0, tick=60.0)
+        split += p2.observe(warn_event(5000.0))
+        assert combined == split
+
+    def test_catch_up_emits_nothing_without_rules(self, catalog):
+        p = Predictor([], 300.0, catalog)
+        assert p.catch_up(10_000.0, tick=60.0) == []
+
+    def test_feed_invalid_tick(self, catalog):
+        p = Predictor([], 300.0, catalog)
+        with pytest.raises(ValueError, match="tick"):
+            p.feed(warn_event(10.0), tick=-1.0)

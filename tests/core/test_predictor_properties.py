@@ -1,0 +1,149 @@
+"""Property-based invariants of the event-driven predictor.
+
+Random rule sets replayed over random event streams must uphold the
+predictor's contract regardless of input: warnings come out in time
+order, every warning traces to a supplied rule, the per-rule refractory
+period is honoured, and replay is deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predictor import Predictor
+from repro.learners.rules import (
+    AssociationRule,
+    CountRule,
+    DistributionRule,
+    StatisticalRule,
+)
+from repro.raslog.catalog import default_catalog
+from repro.raslog.events import Severity
+from tests.conftest import make_log
+
+CATALOG = default_catalog()
+NONFATAL = [t.code for t in CATALOG.nonfatal_types()[:6]]
+FATAL = [t.code for t in CATALOG.fatal_types()[:3]]
+
+
+@st.composite
+def rule_sets(draw):
+    rules = []
+    for code in draw(st.sets(st.sampled_from(NONFATAL), max_size=3)):
+        rules.append(
+            AssociationRule(
+                antecedent=frozenset({code}),
+                consequent=draw(st.sampled_from(FATAL)),
+                support=0.1,
+                confidence=0.9,
+            )
+        )
+    if draw(st.booleans()):
+        rules.append(
+            StatisticalRule(
+                k=draw(st.integers(2, 4)), window=300.0, probability=0.9
+            )
+        )
+    if draw(st.booleans()):
+        rules.append(
+            DistributionRule(
+                distribution="weibull",
+                params=(1.0, 1000.0),
+                threshold=0.6,
+                quantile_time=draw(st.floats(100.0, 5000.0)),
+            )
+        )
+    if draw(st.booleans()):
+        rules.append(
+            CountRule(
+                code=draw(st.sampled_from(NONFATAL)),
+                count=draw(st.integers(2, 4)),
+                window=300.0,
+                consequent=draw(st.sampled_from(FATAL)),
+                support=0.1,
+                confidence=0.5,
+            )
+        )
+    return rules
+
+
+@st.composite
+def event_streams(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    t = 0.0
+    specs = []
+    for gap in gaps:
+        t += gap
+        code = draw(st.sampled_from(NONFATAL + FATAL))
+        severity = (
+            Severity.FATAL if CATALOG.is_fatal_code(code) else Severity.INFO
+        )
+        specs.append((t, code, {"severity": severity}))
+    return make_log(specs)
+
+
+class TestPredictorInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(rule_sets(), event_streams())
+    def test_warnings_time_ordered(self, rules, log):
+        warnings = Predictor(rules, 300.0, CATALOG).replay(log)
+        times = [w.time for w in warnings]
+        assert times == sorted(times)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rule_sets(), event_streams())
+    def test_every_warning_traces_to_a_rule(self, rules, log):
+        keys = {r.key for r in rules}
+        warnings = Predictor(rules, 300.0, CATALOG).replay(log)
+        assert all(w.rule_key in keys for w in warnings)
+        assert all(w.window > 0 for w in warnings)
+        assert all(w.deadline > w.time for w in warnings)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rule_sets(), event_streams())
+    def test_refractory_honoured(self, rules, log):
+        predictor = Predictor(rules, 300.0, CATALOG)
+        warnings = predictor.replay(log)
+        last_fired: dict = {}
+        for w in warnings:
+            if w.rule_key in last_fired and w.learner != "distribution":
+                assert w.time - last_fired[w.rule_key] >= predictor.refractory
+            last_fired[w.rule_key] = w.time
+
+    @settings(max_examples=40, deadline=None)
+    @given(rule_sets(), event_streams())
+    def test_replay_deterministic(self, rules, log):
+        a = Predictor(rules, 300.0, CATALOG).replay(log)
+        b = Predictor(rules, 300.0, CATALOG).replay(log)
+        assert a == b
+
+    @settings(max_examples=40, deadline=None)
+    @given(rule_sets(), event_streams())
+    def test_union_superset_of_experts(self, rules, log):
+        """Every expert-mode warning also appears under the union policy
+        (same rule, same time)."""
+        experts = Predictor(rules, 300.0, CATALOG, ensemble="experts").replay(log)
+        union = Predictor(rules, 300.0, CATALOG, ensemble="union").replay(log)
+        union_sigs = {(w.time, w.rule_key) for w in union}
+        assert all((w.time, w.rule_key) in union_sigs for w in experts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rule_sets(), event_streams())
+    def test_no_rules_no_warnings(self, rules, log):
+        del rules
+        assert Predictor([], 300.0, CATALOG).replay(log) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(event_streams())
+    def test_monitoring_set_bounded_by_window(self, log):
+        predictor = Predictor([], 300.0, CATALOG)
+        for event in log:
+            predictor.observe(event)
+            times = [t for t, _ in predictor.state.monitoring]
+            assert all(event.timestamp - t <= 300.0 for t in times[:-1])

@@ -1,0 +1,115 @@
+"""Unit tests for the ROC-based reviser (Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.core.knowledge import RuleRecord
+from repro.core.reviser import Reviser
+from repro.learners.rules import AssociationRule, StatisticalRule
+from repro.raslog.events import Severity
+from tests.conftest import make_log
+
+FATAL = "KERNEL-F-000"
+GOOD_W = "KERNEL-N-001"
+BAD_W = "KERNEL-N-002"
+
+
+def rule_record(antecedent, consequent=FATAL):
+    return RuleRecord(
+        rule=AssociationRule(
+            antecedent=frozenset(antecedent),
+            consequent=consequent,
+            support=0.1,
+            confidence=0.5,
+        ),
+        learner="association",
+        trained_at_week=0,
+    )
+
+
+def training_log(n=12):
+    """GOOD_W reliably precedes FATAL; BAD_W fires constantly without."""
+    specs = []
+    for i in range(n):
+        t = (i + 1) * 5000.0
+        specs.append((t - 60.0, GOOD_W, {"severity": Severity.WARNING}))
+        specs.append((t, FATAL, {"severity": Severity.FATAL}))
+    for i in range(4 * n):
+        specs.append((i * 1250.0 + 400.0, BAD_W, {"severity": Severity.WARNING}))
+    return make_log(specs)
+
+
+class TestAlgorithm1:
+    def test_keeps_good_rule_drops_bad(self, catalog):
+        reviser = Reviser(min_roc=0.7, catalog=catalog)
+        records = [rule_record({GOOD_W}), rule_record({BAD_W})]
+        result = reviser.revise(records, training_log(), window=300.0)
+        kept_keys = {r.key for r in result.kept}
+        assert rule_record({GOOD_W}).key in kept_keys
+        assert rule_record({BAD_W}).key not in kept_keys
+
+    def test_scores_attached_to_records(self, catalog):
+        reviser = Reviser(catalog=catalog)
+        records = [rule_record({GOOD_W})]
+        result = reviser.revise(records, training_log(), window=300.0)
+        rec = result.kept[0]
+        assert rec.tp > 0
+        assert rec.roc > 0.7
+        # perfect rule: precision and recall both 1 -> roc = sqrt(2)
+        assert rec.roc == pytest.approx(math.sqrt(2.0), abs=0.01)
+
+    def test_rule_that_never_fires_dropped(self, catalog):
+        reviser = Reviser(catalog=catalog)
+        silent = rule_record({"KERNEL-N-050"})
+        result = reviser.revise([silent], training_log(), window=300.0)
+        assert result.kept == []
+        assert result.scores[silent.key].roc == 0.0
+
+    def test_min_roc_boundary_is_exclusive(self, catalog):
+        # a perfect rule has roc = sqrt(2); with min_roc = sqrt(2) it must
+        # be discarded (Algorithm 1 keeps only roc > MinROC)
+        reviser = Reviser(min_roc=math.sqrt(2.0), catalog=catalog)
+        result = reviser.revise([rule_record({GOOD_W})], training_log(), 300.0)
+        assert result.kept == []
+
+    def test_statistical_rule_scored(self, catalog):
+        # bursty failures: the k=2 rule is effective
+        specs = []
+        for i in range(10):
+            base = i * 50_000.0
+            for j in range(4):
+                specs.append(
+                    (base + j * 60.0, FATAL, {"severity": Severity.FATAL})
+                )
+        log = make_log(specs)
+        rec = RuleRecord(
+            rule=StatisticalRule(k=2, window=300.0, probability=0.9),
+            learner="statistical",
+            trained_at_week=0,
+        )
+        result = Reviser(catalog=catalog).revise([rec], log, 300.0)
+        assert result.kept and result.kept[0].roc > 0.7
+
+    def test_min_roc_validation(self, catalog):
+        with pytest.raises(ValueError, match="min_roc"):
+            Reviser(min_roc=2.0, catalog=catalog)
+        with pytest.raises(ValueError, match="min_roc"):
+            Reviser(min_roc=-0.1, catalog=catalog)
+
+    def test_window_validation(self, catalog):
+        with pytest.raises(ValueError, match="window"):
+            Reviser(catalog=catalog).revise([], training_log(), 0.0)
+
+    def test_empty_candidates(self, catalog):
+        result = Reviser(catalog=catalog).revise([], training_log(), 300.0)
+        assert result.kept == [] and result.removed == []
+
+    def test_removed_keys_property(self, catalog):
+        reviser = Reviser(catalog=catalog)
+        records = [rule_record({BAD_W})]
+        result = reviser.revise(records, training_log(), 300.0)
+        assert result.removed_keys == {rule_record({BAD_W}).key}
+
+    def test_default_min_roc_is_papers(self, catalog):
+        assert Reviser(catalog=catalog).min_roc == 0.7

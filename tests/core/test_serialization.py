@@ -1,0 +1,163 @@
+"""Unit and property tests for rule / repository persistence."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.knowledge import KnowledgeRepository, RuleRecord
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    dump_repository,
+    load_repository,
+    record_from_dict,
+    record_to_dict,
+    rule_from_dict,
+    rule_to_dict,
+)
+from repro.learners.rules import (
+    AssociationRule,
+    CountRule,
+    DistributionRule,
+    StatisticalRule,
+)
+
+SAMPLES = [
+    AssociationRule(
+        antecedent=frozenset({"KERNEL-N-001", "KERNEL-N-002"}),
+        consequent="KERNEL-F-000",
+        support=0.25,
+        confidence=0.9,
+    ),
+    StatisticalRule(k=4, window=300.0, probability=0.99),
+    DistributionRule(
+        distribution="weibull",
+        params=(0.507936, 19984.8),
+        threshold=0.6,
+        quantile_time=20000.0,
+    ),
+    CountRule(
+        code="KERNEL-N-007",
+        count=5,
+        window=300.0,
+        consequent="KERNEL-F-003",
+        support=0.1,
+        confidence=0.4,
+    ),
+]
+
+
+class TestRuleRoundTrip:
+    @pytest.mark.parametrize("rule", SAMPLES, ids=lambda r: r.kind)
+    def test_round_trip(self, rule):
+        again = rule_from_dict(rule_to_dict(rule))
+        assert again == rule
+        assert again.key == rule.key
+
+    @pytest.mark.parametrize("rule", SAMPLES, ids=lambda r: r.kind)
+    def test_json_serializable(self, rule):
+        text = json.dumps(rule_to_dict(rule))
+        assert rule_from_dict(json.loads(text)) == rule
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown rule kind"):
+            rule_from_dict({"kind": "oracle"})
+
+    def test_missing_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            rule_from_dict({})
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            rule_to_dict("not a rule")
+
+
+class TestRecordRoundTrip:
+    def test_with_scores(self):
+        record = RuleRecord(
+            rule=SAMPLES[0], learner="association", trained_at_week=26
+        ).with_scores(tp=5, fp=2, fn=1, roc=0.95)
+        again = record_from_dict(record_to_dict(record))
+        assert again == record
+
+    def test_missing_scores_default(self):
+        data = record_to_dict(
+            RuleRecord(rule=SAMPLES[1], learner="statistical", trained_at_week=0)
+        )
+        del data["scores"]
+        again = record_from_dict(data)
+        assert again.tp == 0 and again.roc == 0.0
+
+
+class TestRepositoryRoundTrip:
+    def make_repo(self):
+        return KnowledgeRepository(
+            [
+                RuleRecord(rule=r, learner=r.kind, trained_at_week=4)
+                for r in SAMPLES
+            ]
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        repo = self.make_repo()
+        dump_repository(repo, path)
+        loaded = load_repository(path)
+        assert loaded.keys() == repo.keys()
+        assert [r.rule for r in loaded.records()] == [
+            r.rule for r in repo.records()
+        ]
+
+    def test_stream_round_trip(self):
+        buf = io.StringIO()
+        dump_repository(self.make_repo(), buf)
+        buf.seek(0)
+        assert len(load_repository(buf)) == len(SAMPLES)
+
+    def test_version_checked(self):
+        payload = {"format_version": 99, "records": []}
+        with pytest.raises(ValueError, match="format version"):
+            load_repository(io.StringIO(json.dumps(payload)))
+
+    def test_count_consistency_checked(self):
+        buf = io.StringIO()
+        dump_repository(self.make_repo(), buf)
+        payload = json.loads(buf.getvalue())
+        payload["n_rules"] = 999
+        with pytest.raises(ValueError, match="inconsistent"):
+            load_repository(io.StringIO(json.dumps(payload)))
+
+    def test_empty_repository(self, tmp_path):
+        path = tmp_path / "empty.json"
+        dump_repository(KnowledgeRepository(), path)
+        assert len(load_repository(path)) == 0
+
+    def test_format_version_current(self):
+        assert FORMAT_VERSION == 1
+
+
+class TestPropertyRoundTrip:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.floats(min_value=1.0, max_value=1e5, allow_nan=False),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    def test_statistical_any_values(self, k, window, probability):
+        rule = StatisticalRule(k=k, window=window, probability=probability)
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    @given(
+        st.sets(st.sampled_from([f"C{i}" for i in range(8)]), min_size=1),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_association_any_values(self, antecedent, support, confidence):
+        rule = AssociationRule(
+            antecedent=frozenset(antecedent),
+            consequent="F",
+            support=support,
+            confidence=confidence,
+        )
+        assert rule_from_dict(rule_to_dict(rule)) == rule

@@ -1,0 +1,81 @@
+"""Unit tests for rule-churn accounting (Figure 12)."""
+
+import pytest
+
+from repro.core.tracking import ChurnHistory, ChurnRecord, diff_rule_sets
+
+
+class TestDiff:
+    def test_partition(self):
+        previous = {("a",), ("b",), ("c",)}
+        candidates = {("b",), ("c",), ("d",), ("e",)}
+        reviser_removed = {("e",)}
+        rec = diff_rule_sets(4, previous, candidates, reviser_removed)
+        assert rec.unchanged == 2  # b, c
+        assert rec.added == 1  # d
+        assert rec.removed_by_meta == 1  # a
+        assert rec.removed_by_reviser == 1  # e
+        assert rec.total_active == 3
+
+    def test_reviser_removals_must_be_candidates(self):
+        with pytest.raises(ValueError, match="subset"):
+            diff_rule_sets(0, set(), {("a",)}, {("b",)})
+
+    def test_initial_training_all_added(self):
+        rec = diff_rule_sets(26, set(), {("a",), ("b",)}, set())
+        assert rec.unchanged == 0
+        assert rec.added == 2
+        assert rec.removed_by_meta == 0
+
+    def test_reviser_rejected_candidate_counts_once(self):
+        # a rule that was previously held, is re-learned, but now fails the
+        # ROC filter: counts as removed_by_reviser, not unchanged
+        rec = diff_rule_sets(4, {("a",)}, {("a",)}, {("a",)})
+        assert rec.unchanged == 0
+        assert rec.removed_by_reviser == 1
+        assert rec.removed_by_meta == 0
+
+    def test_change_ratio(self):
+        rec = ChurnRecord(
+            week=0, unchanged=10, added=5, removed_by_meta=3, removed_by_reviser=2
+        )
+        assert rec.change_ratio == pytest.approx(1.0)
+
+    def test_change_ratio_no_unchanged(self):
+        rec = ChurnRecord(
+            week=0, unchanged=0, added=5, removed_by_meta=0, removed_by_reviser=0
+        )
+        assert rec.change_ratio == float("inf")
+
+
+class TestHistory:
+    def make(self, week):
+        return ChurnRecord(
+            week=week, unchanged=1, added=1, removed_by_meta=0, removed_by_reviser=0
+        )
+
+    def test_append_in_order(self):
+        h = ChurnHistory()
+        h.append(self.make(4))
+        h.append(self.make(8))
+        assert len(h) == 2
+
+    def test_out_of_order_rejected(self):
+        h = ChurnHistory()
+        h.append(self.make(8))
+        with pytest.raises(ValueError, match="week order"):
+            h.append(self.make(4))
+
+    def test_series_shape(self):
+        h = ChurnHistory()
+        h.append(self.make(4))
+        h.append(self.make(8))
+        series = h.series()
+        assert series["week"] == [4, 8]
+        assert set(series) == {
+            "week",
+            "unchanged",
+            "added",
+            "removed_by_meta",
+            "removed_by_reviser",
+        }

@@ -1,0 +1,48 @@
+"""Unit tests for precision/recall metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import PrecisionRecall, combine
+
+
+class TestPrecisionRecall:
+    def test_basic(self):
+        pr = PrecisionRecall(tp=8, fp=2, fn=2)
+        assert pr.precision == pytest.approx(0.8)
+        assert pr.recall == pytest.approx(0.8)
+        assert pr.f1 == pytest.approx(0.8)
+
+    def test_zero_denominators(self):
+        pr = PrecisionRecall(tp=0, fp=0, fn=0)
+        assert pr.precision == 0.0
+        assert pr.recall == 0.0
+        assert pr.f1 == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionRecall(tp=-1, fp=0, fn=0)
+
+    def test_addition_pools_counts(self):
+        a = PrecisionRecall(tp=1, fp=1, fn=0)
+        b = PrecisionRecall(tp=3, fp=0, fn=2)
+        c = a + b
+        assert (c.tp, c.fp, c.fn) == (4, 1, 2)
+
+    def test_combine(self):
+        parts = [PrecisionRecall(tp=1, fp=0, fn=1) for _ in range(3)]
+        total = combine(parts)
+        assert total.tp == 3 and total.fn == 3
+        assert combine([]) == PrecisionRecall(0, 0, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_metrics_bounded(self, tp, fp, fn):
+        pr = PrecisionRecall(tp=tp, fp=fp, fn=fn)
+        assert 0.0 <= pr.precision <= 1.0
+        assert 0.0 <= pr.recall <= 1.0
+        assert 0.0 <= pr.f1 <= 1.0

@@ -1,0 +1,39 @@
+"""Unit tests for the overhead measurement harness (Table 5)."""
+
+from repro.evaluation.overhead import measure_overhead
+from repro.learners.registry import DEFAULT_LEARNERS, create_learner
+
+
+class TestMeasureOverhead:
+    def test_records_all_phases(self, mid_trace):
+        catalog = mid_trace.catalog
+        learners = [create_learner(n, catalog=catalog) for n in DEFAULT_LEARNERS]
+        training = mid_trace.clean.slice_weeks(0, 13)
+        matching = mid_trace.clean.slice_weeks(13, 17)
+        record = measure_overhead(
+            learners, training, matching, window=300.0,
+            training_weeks=13, catalog=catalog,
+        )
+        assert set(record.generation) == set(DEFAULT_LEARNERS)
+        assert all(t >= 0 for t in record.generation.values())
+        assert record.ensemble_and_revise > 0
+        assert record.rule_matching >= 0
+        assert record.n_training_events == len(training)
+        assert record.n_matched_events == len(matching)
+        assert record.n_rules > 0
+        assert record.total_generation >= record.ensemble_and_revise
+
+    def test_generation_grows_with_training_size(self, mid_trace):
+        catalog = mid_trace.catalog
+        times = []
+        for weeks in (8, 32):
+            learners = [create_learner(n, catalog=catalog) for n in DEFAULT_LEARNERS]
+            training = mid_trace.clean.slice_weeks(0, weeks)
+            matching = mid_trace.clean.slice_weeks(32, 36)
+            record = measure_overhead(
+                learners, training, matching, window=300.0,
+                training_weeks=weeks, catalog=catalog,
+            )
+            times.append(record.total_generation)
+        # the Table 5 shape: more training data, more generation time
+        assert times[1] > times[0]

@@ -1,0 +1,88 @@
+"""Unit tests for per-learner and cross-run reporting."""
+
+import numpy as np
+import pytest
+
+from repro.alerts import FailureWarning
+from repro.evaluation.metrics import PrecisionRecall
+from repro.evaluation.reporting import compare_runs, learner_breakdown
+from repro.evaluation.timeline import WeeklyMetrics
+from repro.learners.rules import ANY_FAILURE
+
+
+def warning(t, learner, window=300.0):
+    return FailureWarning(
+        time=t, predicted=ANY_FAILURE, window=window,
+        rule_key=(learner, t), learner=learner,
+    )
+
+
+class TestLearnerBreakdown:
+    def test_per_learner_rows_plus_total(self):
+        warnings = [
+            warning(100.0, "association"),   # hits fatal at 200
+            warning(5000.0, "association"),  # miss
+            warning(150.0, "statistical"),   # hits fatal at 200
+        ]
+        table = learner_breakdown(warnings, np.array([200.0, 20_000.0]))
+        rows = {r["learner"]: r for r in table.rows}
+        assert set(rows) == {"association", "statistical", "ALL"}
+        assert rows["association"]["warnings"] == 2
+        assert rows["association"]["precision"] == pytest.approx(0.5)
+        assert rows["statistical"]["precision"] == pytest.approx(1.0)
+        assert rows["ALL"]["warnings"] == 3
+        # one of two failures covered overall
+        assert rows["ALL"]["coverage"] == pytest.approx(0.5)
+
+    def test_empty_failures(self):
+        table = learner_breakdown([warning(1.0, "x")], np.array([]))
+        rows = {r["learner"]: r for r in table.rows}
+        assert rows["ALL"]["coverage"] == 0.0
+
+    def test_empty_warnings(self):
+        table = learner_breakdown([], np.array([1.0]))
+        assert [r["learner"] for r in table.rows] == ["ALL"]
+
+
+class _FakeRun:
+    def __init__(self, weekly):
+        self.weekly = weekly
+
+
+def wm(week, tp, fp, fn):
+    return WeeklyMetrics(
+        week=week, counts=PrecisionRecall(tp=tp, fp=fp, fn=fn),
+        n_warnings=tp + fp, n_fatal=tp + fn,
+    )
+
+
+class TestCompareRuns:
+    def test_late_columns_expose_decay(self):
+        decaying = _FakeRun([wm(0, 9, 1, 1), wm(1, 9, 1, 1),
+                             wm(2, 1, 9, 9), wm(3, 1, 9, 9)])
+        steady = _FakeRun([wm(0, 5, 5, 5)] * 4)
+        table = compare_runs({"decaying": decaying, "steady": steady})
+        rows = {r["run"]: r for r in table.rows}
+        assert rows["decaying"]["late_precision"] == pytest.approx(0.1)
+        assert rows["decaying"]["precision"] == pytest.approx(0.5)
+        assert rows["steady"]["late_precision"] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            compare_runs({})
+        with pytest.raises(ValueError, match="late_fraction"):
+            compare_runs({"a": _FakeRun([wm(0, 1, 0, 0)])}, late_fraction=1.0)
+
+    def test_on_real_run(self, mid_trace):
+        from repro.core import DynamicMetaLearningFramework, FrameworkConfig
+
+        result = DynamicMetaLearningFramework(
+            FrameworkConfig(initial_train_weeks=20), catalog=mid_trace.catalog
+        ).run(mid_trace.clean, end_week=30)
+        table = compare_runs({"run": result})
+        assert len(table) == 1
+        bd = learner_breakdown(
+            result.warnings,
+            mid_trace.clean.fatal(mid_trace.catalog).timestamps,
+        )
+        assert any(r["learner"] == "ALL" for r in bd.rows)

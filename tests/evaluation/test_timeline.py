@@ -1,0 +1,88 @@
+"""Unit tests for weekly series and smoothing."""
+
+import pytest
+
+from repro.evaluation.metrics import PrecisionRecall
+from repro.evaluation.timeline import (
+    WeeklyMetrics,
+    mean_accuracy,
+    rolling_metrics,
+    series_arrays,
+    trend_slope,
+)
+
+
+def wm(week, tp, fp, fn):
+    return WeeklyMetrics(
+        week=week,
+        counts=PrecisionRecall(tp=tp, fp=fp, fn=fn),
+        n_warnings=tp + fp,
+        n_fatal=tp + fn,
+    )
+
+
+class TestWeeklyMetrics:
+    def test_properties(self):
+        m = wm(3, 4, 1, 3)
+        assert m.precision == pytest.approx(0.8)
+        assert m.recall == pytest.approx(4 / 7)
+
+
+class TestRolling:
+    def test_span_one_is_identity(self):
+        weekly = [wm(0, 1, 1, 0), wm(1, 3, 0, 1)]
+        out = rolling_metrics(weekly, span=1)
+        assert [m.precision for m in out] == [
+            m.precision for m in weekly
+        ]
+
+    def test_pools_counts_not_averages(self):
+        weekly = [wm(0, 0, 10, 0), wm(1, 10, 0, 0)]
+        out = rolling_metrics(weekly, span=2)
+        # micro-average: (0+10)/(0+10+10+0) = 0.5, not mean(0, 1)
+        assert out[1].precision == pytest.approx(0.5)
+
+    def test_window_truncated_at_start(self):
+        weekly = [wm(i, 1, 0, 0) for i in range(5)]
+        out = rolling_metrics(weekly, span=3)
+        assert out[0].n_warnings == 1
+        assert out[2].n_warnings == 3
+        assert out[4].n_warnings == 3
+
+    def test_weeks_preserved(self):
+        weekly = [wm(10 + i, 1, 0, 0) for i in range(4)]
+        assert [m.week for m in rolling_metrics(weekly, 2)] == [10, 11, 12, 13]
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError, match="span"):
+            rolling_metrics([], span=0)
+
+
+class TestSeries:
+    def test_arrays(self):
+        weekly = [wm(0, 1, 1, 1), wm(1, 2, 0, 0)]
+        weeks, precision, recall = series_arrays(weekly)
+        assert list(weeks) == [0, 1]
+        assert precision[0] == pytest.approx(0.5)
+        assert recall[1] == pytest.approx(1.0)
+
+    def test_mean_accuracy_micro_averages(self):
+        weekly = [wm(0, 0, 5, 0), wm(1, 5, 0, 5)]
+        p, r = mean_accuracy(weekly)
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+
+
+class TestTrendSlope:
+    def test_increasing(self):
+        assert trend_slope([0.0, 0.1, 0.2, 0.3]) == pytest.approx(0.1)
+
+    def test_decreasing(self):
+        assert trend_slope([1.0, 0.8, 0.6]) == pytest.approx(-0.2)
+
+    def test_flat(self):
+        assert trend_slope([0.5, 0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_degenerate(self):
+        assert trend_slope([]) == 0.0
+        assert trend_slope([1.0]) == 0.0

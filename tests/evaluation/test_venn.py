@@ -1,0 +1,67 @@
+"""Unit tests for Venn coverage analysis (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.alerts import FailureWarning
+from repro.evaluation.venn import venn_coverage
+from repro.learners.rules import ANY_FAILURE
+
+
+def warning(t, window=300.0):
+    return FailureWarning(
+        time=t, predicted=ANY_FAILURE, window=window, rule_key=("k",), learner="x"
+    )
+
+
+class TestVennCoverage:
+    def test_three_learner_partition(self):
+        times = np.array([100.0, 1000.0, 2000.0, 3000.0])
+        codes = ["F"] * 4
+        by_learner = {
+            "a": [warning(50.0), warning(950.0)],  # covers fatals 0, 1
+            "b": [warning(950.0)],  # covers fatal 1
+            "c": [warning(2950.0)],  # covers fatal 3
+        }
+        venn = venn_coverage(by_learner, times, codes)
+        assert venn.n_fatal == 4
+        assert venn.region("a") == 1  # fatal 0 only a
+        assert venn.region("a", "b") == 1  # fatal 1
+        assert venn.region("c") == 1  # fatal 3
+        assert venn.region("b") == 0
+        assert venn.uncaptured == 1  # fatal 2
+        assert venn.multi_captured == 1
+
+    def test_totals_match_regions(self):
+        times = np.array([100.0, 500.0])
+        by_learner = {
+            "a": [warning(50.0)],
+            "b": [warning(50.0), warning(450.0)],
+        }
+        venn = venn_coverage(by_learner, times, ["F", "F"])
+        assert venn.covered_by["a"] == 1
+        assert venn.covered_by["b"] == 2
+        total_in_regions = sum(venn.regions.values())
+        assert total_in_regions + venn.uncaptured == venn.n_fatal
+
+    def test_coverage_fraction(self):
+        times = np.array([100.0, 500.0])
+        venn = venn_coverage({"a": [warning(50.0)]}, times, ["F", "F"])
+        assert venn.coverage_fraction("a") == pytest.approx(0.5)
+        assert venn.coverage_fraction("missing") == 0.0
+
+    def test_empty_failures(self):
+        venn = venn_coverage({"a": []}, np.array([]), [])
+        assert venn.n_fatal == 0
+        assert venn.coverage_fraction("a") == 0.0
+        assert venn.uncaptured == 0
+
+    def test_no_learners_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            venn_coverage({}, np.array([1.0]), ["F"])
+
+    def test_names_sorted(self):
+        venn = venn_coverage(
+            {"zeta": [], "alpha": []}, np.array([1.0]), ["F"]
+        )
+        assert venn.names == ("alpha", "zeta")

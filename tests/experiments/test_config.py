@@ -1,0 +1,46 @@
+"""Unit tests for experiment workload construction and caching."""
+
+import pytest
+
+from repro.experiments.config import (
+    DEFAULT_SEED,
+    ExperimentSetup,
+    clear_cache,
+    make_log,
+)
+
+
+class TestExperimentSetup:
+    def test_validates_system_early(self):
+        with pytest.raises(KeyError, match="unknown system"):
+            ExperimentSetup(system="CRAY")
+
+    def test_defaults(self):
+        setup = ExperimentSetup()
+        assert setup.system == "SDSC"
+        assert setup.seed == DEFAULT_SEED
+        assert not setup.duplicates
+
+
+class TestMakeLog:
+    def test_caches_identical_requests(self):
+        a = make_log("SDSC", weeks=4, seed=1)
+        b = make_log("SDSC", weeks=4, seed=1)
+        assert a is b
+
+    def test_distinct_requests_not_shared(self):
+        a = make_log("SDSC", weeks=4, seed=1)
+        b = make_log("SDSC", weeks=4, seed=2)
+        assert a is not b
+
+    def test_clear_cache_drops_instances(self):
+        a = make_log("SDSC", weeks=4, seed=1)
+        clear_cache()
+        b = make_log("SDSC", weeks=4, seed=1)
+        assert a is not b
+        # deterministic regeneration nonetheless
+        assert len(a.clean) == len(b.clean)
+
+    def test_weeks_override(self):
+        syn = make_log("ANL", weeks=3, seed=1)
+        assert syn.profile.weeks == 3

@@ -1,0 +1,153 @@
+"""Unit tests for the count-threshold base learner."""
+
+import pytest
+
+from repro.learners.counting import CountThresholdLearner
+from repro.learners.rules import CountRule
+from repro.raslog.events import Severity
+from repro.raslog.store import EventLog
+from tests.conftest import make_log
+
+FATAL = "KERNEL-F-000"
+FLOOD = "KERNEL-N-010"
+OTHER = "KERNEL-N-011"
+
+
+def flood_log(n=12, flood_size=5, with_noise=True):
+    """Every FATAL is preceded by `flood_size` FLOOD warnings."""
+    specs = []
+    for i in range(n):
+        t = (i + 1) * 5000.0
+        for j in range(flood_size):
+            specs.append((t - 250.0 + j * 40.0, FLOOD, {"severity": Severity.WARNING}))
+        specs.append((t, FATAL, {"severity": Severity.FATAL}))
+    if with_noise:
+        # single (non-flood) occurrences elsewhere
+        for i in range(n):
+            specs.append((i * 5000.0 + 2000.0, FLOOD, {"severity": Severity.WARNING}))
+            specs.append((i * 5000.0 + 2500.0, OTHER, {"severity": Severity.WARNING}))
+    return make_log(specs)
+
+
+class TestCountRuleModel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="count"):
+            CountRule(code="a", count=1, window=300.0, consequent="f",
+                      support=0.5, confidence=0.5)
+        with pytest.raises(ValueError, match="window"):
+            CountRule(code="a", count=2, window=0.0, consequent="f",
+                      support=0.5, confidence=0.5)
+        with pytest.raises(ValueError, match="itself"):
+            CountRule(code="a", count=2, window=300.0, consequent="a",
+                      support=0.5, confidence=0.5)
+
+    def test_identity(self):
+        r = CountRule(code="a", count=3, window=300.0, consequent="f",
+                      support=0.5, confidence=0.5)
+        assert r.kind == "count"
+        assert r.predicted == "f"
+        assert r.key == ("count", "a", 3, "f")
+        assert "3x a" in r.describe()
+
+
+class TestWindowCounts:
+    def test_multisets(self, catalog):
+        learner = CountThresholdLearner(catalog)
+        counts = learner.window_counts(flood_log(3, with_noise=False), 300.0)
+        assert len(counts) == 3
+        for fatal_code, counter in counts:
+            assert fatal_code == FATAL
+            assert counter[FLOOD] == 5
+
+    def test_invalid_window(self, catalog):
+        with pytest.raises(ValueError, match="window"):
+            CountThresholdLearner(catalog).window_counts(flood_log(), 0.0)
+
+
+class TestTraining:
+    def test_mines_flood_rule(self, catalog):
+        learner = CountThresholdLearner(catalog)
+        rules = learner.train(flood_log(), 300.0)
+        flood_rules = [r for r in rules if r.code == FLOOD and r.consequent == FATAL]
+        assert flood_rules
+        assert flood_rules[0].count >= 2
+        assert flood_rules[0].confidence == pytest.approx(1.0)
+
+    def test_keeps_one_rule_per_pair(self, catalog):
+        rules = CountThresholdLearner(catalog).train(flood_log(), 300.0)
+        pairs = [(r.code, r.consequent) for r in rules]
+        assert len(pairs) == len(set(pairs))
+
+    def test_single_occurrences_do_not_qualify(self, catalog):
+        # OTHER appears once per window; min_count is 2
+        rules = CountThresholdLearner(catalog).train(flood_log(), 300.0)
+        assert not any(r.code == OTHER for r in rules)
+
+    def test_min_confidence_filters(self, catalog):
+        strict = CountThresholdLearner(catalog, min_confidence=0.99)
+        loose = CountThresholdLearner(catalog, min_confidence=0.05)
+        log = flood_log()
+        assert len(strict.train(log, 300.0)) <= len(loose.train(log, 300.0))
+
+    def test_empty_log(self, catalog):
+        assert CountThresholdLearner(catalog).train(EventLog(), 300.0) == []
+
+    def test_parameter_validation(self, catalog):
+        with pytest.raises(ValueError, match="min_support"):
+            CountThresholdLearner(catalog, min_support=0.0)
+        with pytest.raises(ValueError, match="min_confidence"):
+            CountThresholdLearner(catalog, min_confidence=1.5)
+        with pytest.raises(ValueError, match="min_count"):
+            CountThresholdLearner(catalog, min_count=1)
+        with pytest.raises(ValueError, match="max_count"):
+            CountThresholdLearner(catalog, min_count=5, max_count=4)
+
+    def test_registered_in_registry(self, catalog):
+        from repro.learners.registry import create_learner
+
+        learner = create_learner("count", catalog=catalog)
+        assert isinstance(learner, CountThresholdLearner)
+
+    def test_on_synthetic_flood_templates(self, mid_trace):
+        """The generator's flooding templates give this learner signal."""
+        learner = CountThresholdLearner(mid_trace.catalog)
+        rules = learner.train(mid_trace.clean.slice_weeks(0, 26), 300.0)
+        assert isinstance(rules, list)  # may be few, but must not error
+        for r in rules:
+            assert isinstance(r, CountRule)
+
+
+class TestPredictorIntegration:
+    def test_count_rule_fires_on_flood(self, catalog):
+        from repro.core.predictor import Predictor
+
+        rule = CountRule(code=FLOOD, count=3, window=300.0, consequent=FATAL,
+                         support=0.5, confidence=0.9)
+        p = Predictor([rule], 300.0, catalog)
+        from tests.conftest import make_event
+
+        assert p.observe(make_event(10.0, FLOOD)) == []
+        assert p.observe(make_event(20.0, FLOOD)) == []
+        warnings = p.observe(make_event(30.0, FLOOD))
+        assert len(warnings) == 1
+        assert warnings[0].predicted == FATAL
+        assert warnings[0].learner == "count"
+
+    def test_count_resets_outside_window(self, catalog):
+        from repro.core.predictor import Predictor
+        from tests.conftest import make_event
+
+        rule = CountRule(code=FLOOD, count=3, window=300.0, consequent=FATAL,
+                         support=0.5, confidence=0.9)
+        p = Predictor([rule], 300.0, catalog)
+        p.observe(make_event(10.0, FLOOD))
+        p.observe(make_event(20.0, FLOOD))
+        # third occurrence arrives after the first two expired
+        assert p.observe(make_event(500.0, FLOOD)) == []
+
+    def test_n_rules_counts_count_rules(self, catalog):
+        from repro.core.predictor import Predictor
+
+        rule = CountRule(code=FLOOD, count=3, window=300.0, consequent=FATAL,
+                         support=0.5, confidence=0.9)
+        assert Predictor([rule], 300.0, catalog).n_rules == 1

@@ -1,0 +1,99 @@
+"""Unit tests for the probability-distribution base learner."""
+
+import numpy as np
+import pytest
+
+from repro.learners.distribution import DistributionLearner
+from repro.learners.rules import DistributionRule
+from repro.raslog.events import Severity
+from repro.raslog.store import EventLog
+from tests.conftest import make_log
+
+FATAL = "KERNEL-F-000"
+
+
+def fatal_log(times):
+    return make_log([(t, FATAL, {"severity": Severity.FATAL}) for t in times])
+
+
+def weibull_times(n=400, shape=0.9, scale=20000.0, seed=0):
+    gaps = scale * np.random.default_rng(seed).weibull(shape, size=n)
+    return np.cumsum(gaps)
+
+
+class TestFit:
+    def test_fits_interarrivals(self, catalog):
+        log = fatal_log(weibull_times())
+        learner = DistributionLearner(catalog)
+        fitted = learner.fit(log)
+        assert fitted.n >= 300
+        assert learner.last_fit is fitted
+
+    def test_censoring_drops_short_gaps(self, catalog):
+        times = list(weibull_times(n=200, seed=1))
+        # inject bursts: a 10 s follower after each failure
+        burst = [t + 10.0 for t in times]
+        log = fatal_log(sorted(times + burst))
+        learner = DistributionLearner(catalog)
+        uncensored = learner.fit(log, censor_below=0.0)
+        censored = learner.fit(log, censor_below=300.0)
+        assert censored.n < uncensored.n
+        # censored fit sees only the long gaps -> larger median
+        assert censored.quantile(0.5) > uncensored.quantile(0.5)
+
+    def test_censor_fallback_when_too_few(self, catalog):
+        # all gaps below the censor threshold: falls back to full sample
+        times = np.cumsum(np.full(50, 10.0))
+        log = fatal_log(times)
+        learner = DistributionLearner(catalog, families=("exponential",))
+        fitted = learner.fit(log, censor_below=300.0)
+        assert fitted.n == 49
+
+    def test_too_few_failures(self, catalog):
+        log = fatal_log([100.0, 200.0])
+        with pytest.raises(ValueError, match="not enough"):
+            DistributionLearner(catalog).fit(log)
+
+    def test_ignores_nonfatal_events(self, catalog):
+        times = weibull_times(n=100)
+        specs = [(t, FATAL, {"severity": Severity.FATAL}) for t in times]
+        specs += [(t + 1.0, "KERNEL-N-000", {"severity": Severity.INFO}) for t in times]
+        log = make_log(specs)
+        fitted = DistributionLearner(catalog).fit(log)
+        assert fitted.n == 99  # only fatal interarrivals
+
+
+class TestTrain:
+    def test_emits_single_rule(self, catalog):
+        rules = DistributionLearner(catalog).train(fatal_log(weibull_times()), 300.0)
+        assert len(rules) == 1
+        rule = rules[0]
+        assert isinstance(rule, DistributionRule)
+        assert rule.threshold == 0.6
+        assert rule.quantile_time > 0
+
+    def test_quantile_matches_threshold(self, catalog):
+        learner = DistributionLearner(catalog, threshold=0.75)
+        rules = learner.train(fatal_log(weibull_times()), 300.0)
+        fitted = learner.last_fit
+        assert rules[0].quantile_time == pytest.approx(fitted.quantile(0.75))
+        assert float(fitted.cdf(rules[0].quantile_time)) == pytest.approx(0.75)
+
+    def test_empty_log_trains_nothing(self, catalog):
+        assert DistributionLearner(catalog).train(EventLog(), 300.0) == []
+
+    def test_paper_default_threshold(self, catalog):
+        assert DistributionLearner(catalog).threshold == 0.6
+
+    def test_parameter_validation(self, catalog):
+        with pytest.raises(ValueError, match="threshold"):
+            DistributionLearner(catalog, threshold=1.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            DistributionLearner(catalog, min_samples=2)
+
+    def test_on_synthetic_trace(self, mid_trace):
+        learner = DistributionLearner(mid_trace.catalog)
+        rules = learner.train(mid_trace.clean, 300.0)
+        assert len(rules) == 1
+        # fitted on censored (isolated) gaps: the quantile is hours-scale
+        assert 1800.0 < rules[0].quantile_time < 200_000.0

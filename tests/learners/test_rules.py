@@ -1,0 +1,138 @@
+"""Unit tests for the rule model."""
+
+import pytest
+
+from repro.learners.rules import (
+    ANY_FAILURE,
+    AssociationRule,
+    DistributionRule,
+    StatisticalRule,
+    rule_sort_key,
+)
+
+
+class TestAssociationRule:
+    def make(self, **kw):
+        defaults = dict(
+            antecedent=frozenset({"a", "b"}),
+            consequent="f",
+            support=0.05,
+            confidence=0.8,
+        )
+        defaults.update(kw)
+        return AssociationRule(**defaults)
+
+    def test_basic(self):
+        r = self.make()
+        assert r.kind == "association"
+        assert r.predicted == "f"
+
+    def test_key_is_order_insensitive(self):
+        r1 = self.make(antecedent=frozenset({"a", "b"}))
+        r2 = self.make(antecedent=frozenset({"b", "a"}))
+        assert r1.key == r2.key
+
+    def test_key_distinguishes_consequent(self):
+        assert self.make(consequent="f").key != self.make(consequent="g").key
+
+    def test_empty_antecedent_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            self.make(antecedent=frozenset())
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(ValueError, match="appears in its own"):
+            self.make(antecedent=frozenset({"f", "a"}))
+
+    @pytest.mark.parametrize("support", [0.0, 1.5, -0.1])
+    def test_support_range(self, support):
+        with pytest.raises(ValueError, match="support"):
+            self.make(support=support)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.01])
+    def test_confidence_range(self, confidence):
+        with pytest.raises(ValueError, match="confidence"):
+            self.make(confidence=confidence)
+
+    def test_describe(self):
+        text = self.make().describe()
+        assert "-> f" in text and "0.80" in text
+
+
+class TestStatisticalRule:
+    def test_basic(self):
+        r = StatisticalRule(k=4, window=300.0, probability=0.99)
+        assert r.kind == "statistical"
+        assert r.predicted == ANY_FAILURE
+        assert "4 failures within 300s" in r.describe()
+
+    def test_key_includes_k_and_window(self):
+        a = StatisticalRule(k=2, window=300.0, probability=0.9)
+        b = StatisticalRule(k=3, window=300.0, probability=0.9)
+        c = StatisticalRule(k=2, window=600.0, probability=0.9)
+        assert len({a.key, b.key, c.key}) == 3
+
+    def test_key_ignores_probability(self):
+        a = StatisticalRule(k=2, window=300.0, probability=0.9)
+        b = StatisticalRule(k=2, window=300.0, probability=0.95)
+        assert a.key == b.key
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            StatisticalRule(k=0, window=300.0, probability=0.9)
+        with pytest.raises(ValueError, match="window"):
+            StatisticalRule(k=1, window=0.0, probability=0.9)
+        with pytest.raises(ValueError, match="probability"):
+            StatisticalRule(k=1, window=300.0, probability=0.0)
+
+
+class TestDistributionRule:
+    def make(self, **kw):
+        defaults = dict(
+            distribution="weibull",
+            params=(0.5, 20000.0),
+            threshold=0.6,
+            quantile_time=20000.0,
+        )
+        defaults.update(kw)
+        return DistributionRule(**defaults)
+
+    def test_basic(self):
+        r = self.make()
+        assert r.kind == "distribution"
+        assert r.predicted == ANY_FAILURE
+        assert "weibull" in r.describe()
+
+    def test_key_buckets_quantile(self):
+        # a small fit wobble is the "same" rule; a big shift is not
+        a = self.make(quantile_time=20000.0)
+        b = self.make(quantile_time=20100.0)
+        c = self.make(quantile_time=40000.0)
+        assert a.key == b.key
+        assert a.key != c.key
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            self.make(threshold=1.0)
+        with pytest.raises(ValueError, match="quantile_time"):
+            self.make(quantile_time=0.0)
+
+
+class TestSortKey:
+    def test_deterministic_ordering(self):
+        rules = [
+            StatisticalRule(k=2, window=300.0, probability=0.9),
+            AssociationRule(
+                antecedent=frozenset({"a"}), consequent="f",
+                support=0.1, confidence=0.5,
+            ),
+            DistributionRule(
+                distribution="weibull", params=(1.0, 2.0),
+                threshold=0.6, quantile_time=100.0,
+            ),
+        ]
+        ordered = sorted(rules, key=rule_sort_key)
+        assert [r.kind for r in ordered] == [
+            "association",
+            "distribution",
+            "statistical",
+        ]

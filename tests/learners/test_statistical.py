@@ -1,0 +1,113 @@
+"""Unit tests for the statistical-rule base learner."""
+
+import numpy as np
+import pytest
+
+from repro.learners.statistical import StatisticalRuleLearner
+from repro.raslog.events import Severity
+from tests.conftest import make_log
+
+FATAL = "KERNEL-F-000"
+
+
+def fatal_log(times):
+    return make_log([(t, FATAL, {"severity": Severity.FATAL}) for t in times])
+
+
+class TestBurstStatistics:
+    def test_counts_at_least_k(self, catalog):
+        learner = StatisticalRuleLearner(catalog)
+        # bursts of 3 failures 50 s apart, separated by long gaps
+        times = []
+        for i in range(10):
+            base = i * 10_000.0
+            times += [base, base + 50.0, base + 100.0]
+        stats = learner.burst_statistics(np.array(times), window=300.0)
+        # every event sees >= 1 fatal; 20 of 30 see >= 2; 10 see >= 3
+        assert stats[1][0] == 30
+        assert stats[2][0] == 20
+        assert stats[3][0] == 10
+        assert 4 not in stats
+
+    def test_followed_fraction(self, catalog):
+        learner = StatisticalRuleLearner(catalog)
+        times = []
+        for i in range(10):
+            base = i * 10_000.0
+            times += [base, base + 50.0, base + 100.0]
+        stats = learner.burst_statistics(np.array(times), window=300.0)
+        n1, f1 = stats[1]
+        assert f1 == 20  # first two of each burst are followed
+        n2, f2 = stats[2]
+        assert f2 == 10  # the middle event of each burst
+
+    def test_empty(self, catalog):
+        learner = StatisticalRuleLearner(catalog)
+        assert learner.burst_statistics(np.array([]), 300.0) == {}
+
+    def test_invalid_window(self, catalog):
+        with pytest.raises(ValueError, match="window"):
+            StatisticalRuleLearner(catalog).burst_statistics(np.array([1.0]), 0.0)
+
+
+class TestTraining:
+    def test_learns_burst_rule(self, catalog):
+        # bursts of 5: P(another | >=2 within window) is high
+        times = []
+        for i in range(12):
+            base = i * 50_000.0
+            times += [base + j * 60.0 for j in range(5)]
+        log = fatal_log(times)
+        rules = StatisticalRuleLearner(catalog, threshold=0.7).train(log, 300.0)
+        assert any(r.k == 2 for r in rules)
+        for r in rules:
+            assert r.probability >= 0.7
+            assert r.window == 300.0
+
+    def test_no_rules_when_failures_isolated(self, catalog):
+        times = [i * 50_000.0 for i in range(30)]
+        rules = StatisticalRuleLearner(catalog, threshold=0.5).train(
+            fatal_log(times), 300.0
+        )
+        assert rules == []
+
+    def test_min_samples_guards_small_k(self, catalog):
+        # a single burst of 8 gives k=5..8 tiny sample sizes
+        times = [j * 30.0 for j in range(8)] + [90_000.0 + i * 50_000.0 for i in range(4)]
+        learner = StatisticalRuleLearner(catalog, threshold=0.1, min_samples=6)
+        rules = learner.train(fatal_log(times), 300.0)
+        assert all(r.k <= 8 for r in rules)
+        stats = learner.burst_statistics(fatal_log(times).timestamps, 300.0)
+        for r in rules:
+            assert stats[r.k][0] >= 6
+
+    def test_probability_estimates_match_stats(self, catalog):
+        times = []
+        for i in range(15):
+            base = i * 20_000.0
+            times += [base, base + 100.0]
+        learner = StatisticalRuleLearner(catalog, threshold=0.4)
+        log = fatal_log(times)
+        rules = learner.train(log, 300.0)
+        stats = learner.burst_statistics(log.timestamps, 300.0)
+        for r in rules:
+            n, f = stats[r.k]
+            assert r.probability == pytest.approx(f / n)
+
+    def test_parameter_validation(self, catalog):
+        with pytest.raises(ValueError, match="threshold"):
+            StatisticalRuleLearner(catalog, threshold=0.0)
+        with pytest.raises(ValueError, match="max_k"):
+            StatisticalRuleLearner(catalog, max_k=0)
+        with pytest.raises(ValueError, match="min_samples"):
+            StatisticalRuleLearner(catalog, min_samples=0)
+
+    def test_paper_default_threshold(self, catalog):
+        assert StatisticalRuleLearner(catalog).threshold == 0.8
+
+    def test_on_synthetic_trace(self, mid_trace):
+        """The generator's storm cascades produce the paper-style rule."""
+        learner = StatisticalRuleLearner(mid_trace.catalog)
+        rules = learner.train(mid_trace.clean, 300.0)
+        assert rules, "expected burst rules from the storm-cascade process"
+        assert any(r.probability > 0.8 for r in rules)

@@ -1,0 +1,67 @@
+"""Unit and property tests for work partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.chunking import chunk_bounds, even_chunks
+
+
+class TestEvenChunks:
+    def test_exact_split(self):
+        assert even_chunks([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split(self):
+        chunks = even_chunks([1, 2, 3, 4, 5], 2)
+        assert chunks == [[1, 2, 3], [4, 5]]
+
+    def test_more_chunks_than_items(self):
+        chunks = even_chunks([1, 2], 5)
+        assert chunks == [[1], [2]]
+
+    def test_empty(self):
+        assert even_chunks([], 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            even_chunks([1], 0)
+
+    @given(
+        st.lists(st.integers(), max_size=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_partition_properties(self, items, n):
+        chunks = even_chunks(items, n)
+        # concatenation preserves order and content
+        flat = [x for c in chunks for x in c]
+        assert flat == items
+        # no empty chunks, near-equal sizes
+        assert all(len(c) > 0 for c in chunks)
+        if chunks:
+            sizes = [len(c) for c in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkBounds:
+    def test_bounds_cover_range(self):
+        bounds = chunk_bounds(10, 3)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 10
+        for (a, b), (c, _) in zip(bounds, bounds[1:]):
+            assert b == c
+
+    def test_zero_items(self):
+        assert chunk_bounds(0, 3) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(5, 0)
+        with pytest.raises(ValueError):
+            chunk_bounds(-1, 2)
+
+    @given(st.integers(0, 200), st.integers(1, 12))
+    def test_matches_even_chunks(self, n, k):
+        items = list(range(n))
+        chunks = even_chunks(items, k)
+        bounds = chunk_bounds(n, k)
+        assert [items[a:b] for a, b in bounds] == chunks

@@ -1,0 +1,72 @@
+"""Unit tests for execution backends."""
+
+import pytest
+
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+
+def square(x):
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+class TestSerial:
+    def test_map_preserves_order(self):
+        assert SerialExecutor().map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_starmap(self):
+        assert SerialExecutor().starmap(add, [(1, 2), (3, 4)]) == [3, 7]
+
+    def test_context_manager(self):
+        with SerialExecutor() as ex:
+            assert ex.map(square, [2]) == [4]
+
+    def test_empty_tasks(self):
+        assert SerialExecutor().map(square, []) == []
+
+
+class TestThread:
+    def test_map(self):
+        with ThreadExecutor(max_workers=2) as ex:
+            assert ex.map(square, list(range(10))) == [i * i for i in range(10)]
+
+    def test_starmap(self):
+        with ThreadExecutor(max_workers=2) as ex:
+            assert ex.starmap(add, [(1, 1), (2, 2)]) == [2, 4]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with ThreadExecutor(max_workers=1) as ex, pytest.raises(RuntimeError):
+            ex.map(boom, [1])
+
+
+class TestProcess:
+    def test_map(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_starmap_picklable(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            assert ex.starmap(add, [(1, 2), (5, 5)]) == [3, 10]
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        ex = make_executor("thread", max_workers=1)
+        assert isinstance(ex, ThreadExecutor)
+        ex.close()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")

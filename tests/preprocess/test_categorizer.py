@@ -1,0 +1,148 @@
+"""Unit tests for event categorization."""
+
+import pytest
+
+from repro.preprocess.categorizer import (
+    CategorizationReport,
+    Categorizer,
+    normalize_description,
+)
+from repro.raslog.events import Facility, Severity
+from tests.conftest import make_event, make_log
+
+
+class TestNormalizeDescription:
+    def test_case_and_whitespace(self):
+        assert normalize_description("  Foo   BAR ") == "foo bar"
+
+    def test_strips_numeric_tail(self):
+        assert normalize_description("ddr error at 12345") == "ddr error at"
+        assert normalize_description("error code 0x0badf00d") == "error code"
+
+    def test_strips_bracketed_tail(self):
+        assert normalize_description("cache error [bank 3]") == "cache error"
+
+    def test_plain_text_unchanged(self):
+        assert (
+            normalize_description("uncorrectable torus error")
+            == "uncorrectable torus error"
+        )
+
+
+class TestClassify:
+    def test_by_description(self, catalog):
+        cat = Categorizer(catalog)
+        e = make_event(
+            1.0, "uncorrectable torus error", facility=Facility.KERNEL,
+            severity=Severity.FATAL,
+        )
+        t = cat.classify(e)
+        assert t is not None and t.fatal
+
+    def test_by_description_with_detail_suffix(self, catalog):
+        cat = Categorizer(catalog)
+        e = make_event(
+            1.0, "Uncorrectable Torus Error 42", facility=Facility.KERNEL,
+            severity=Severity.FATAL,
+        )
+        assert cat.classify(e) is not None
+
+    def test_codes_pass_through(self, catalog):
+        cat = Categorizer(catalog)
+        e = make_event(1.0, "KERNEL-F-000", severity=Severity.FATAL)
+        assert cat.classify(e).code == "KERNEL-F-000"
+
+    def test_wrong_facility_no_match(self, catalog):
+        cat = Categorizer(catalog)
+        e = make_event(1.0, "uncorrectable torus error", facility=Facility.APP)
+        assert cat.classify(e) is None
+
+    def test_is_fatal_unknown_event(self, catalog):
+        cat = Categorizer(catalog)
+        assert not cat.is_fatal(make_event(1.0, "mystery"))
+
+
+class TestCategorize:
+    def test_rewrites_to_codes(self, catalog):
+        cat = Categorizer(catalog)
+        log = make_log(
+            [(1.0, "uncorrectable torus error", {"severity": Severity.FATAL})]
+        )
+        out = cat.categorize(log)
+        assert out[0].entry_data.startswith("KERNEL-F-")
+
+    def test_skip_policy_drops_unknown(self, catalog):
+        cat = Categorizer(catalog, unknown="skip")
+        log = make_log([(1.0, "mystery"), (2.0, "KERNEL-N-000")])
+        report = CategorizationReport()
+        out = cat.categorize(log, report)
+        assert len(out) == 1
+        assert report.matched == 1
+        assert report.unmatched == 1
+        assert report.unmatched_by_facility[Facility.KERNEL] == 1
+        assert report.match_rate == pytest.approx(0.5)
+
+    def test_keep_policy_passes_unknown(self, catalog):
+        cat = Categorizer(catalog, unknown="keep")
+        log = make_log([(1.0, "mystery")])
+        out = cat.categorize(log)
+        assert len(out) == 1
+        assert out[0].entry_data == "mystery"
+
+    def test_error_policy_raises(self, catalog):
+        cat = Categorizer(catalog, unknown="error")
+        log = make_log([(1.0, "mystery")])
+        with pytest.raises(ValueError, match="uncategorizable"):
+            cat.categorize(log)
+
+    def test_invalid_policy(self, catalog):
+        with pytest.raises(ValueError, match="skip/error/keep"):
+            Categorizer(catalog, unknown="whatever")
+
+    def test_idempotent_on_categorized_log(self, catalog):
+        cat = Categorizer(catalog)
+        log = make_log([(1.0, "KERNEL-N-005")])
+        once = cat.categorize(log)
+        twice = cat.categorize(once)
+        assert [e.entry_data for e in once] == [e.entry_data for e in twice]
+
+    def test_preserves_order_and_origin(self, catalog):
+        cat = Categorizer(catalog)
+        log = make_log([(1.0, "KERNEL-N-000"), (2.0, "KERNEL-N-001")], origin=0.5)
+        out = cat.categorize(log)
+        assert out.origin == 0.5
+        assert list(out.timestamps) == [1.0, 2.0]
+
+
+class TestFakeFatalRemoval:
+    def test_demoted_fatals_counted(self, catalog):
+        fake = catalog.fake_fatal_types()[0]
+        cat = Categorizer(catalog)
+        log = make_log(
+            [
+                (
+                    1.0,
+                    fake.description,
+                    {"facility": fake.facility, "severity": fake.severity},
+                )
+            ]
+        )
+        report = CategorizationReport()
+        out = cat.categorize(log, report)
+        assert report.demoted_fatals == 1
+        assert not cat.is_fatal(out[0])
+
+    def test_fatal_codes_exclude_fakes(self, catalog):
+        cat = Categorizer(catalog)
+        fatal_codes = cat.fatal_codes()
+        assert len(fatal_codes) == 69
+        for fake in catalog.fake_fatal_types():
+            assert fake.code not in fatal_codes
+
+    def test_synthetic_raw_log_fully_categorized(self, small_trace):
+        cat = Categorizer(small_trace.catalog)
+        report = CategorizationReport()
+        sample = small_trace.raw[:2000]
+        cat.categorize(sample, report)
+        assert report.unmatched == 0
+        assert report.match_rate == 1.0

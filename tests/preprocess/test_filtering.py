@@ -1,0 +1,211 @@
+"""Unit and property tests for temporal/spatial compression."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.preprocess.filtering import (
+    FilterStats,
+    compress,
+    deduplicate_exact,
+    spatial_compress,
+    temporal_compress,
+)
+from tests.conftest import make_log
+
+
+class TestTemporalCompression:
+    def test_coalesces_repeats_at_one_location(self):
+        log = make_log(
+            [
+                (0.0, "a", {"location": "L1", "job_id": 1}),
+                (10.0, "a", {"location": "L1", "job_id": 1}),
+                (20.0, "a", {"location": "L1", "job_id": 1}),
+            ]
+        )
+        out, stats = temporal_compress(log, 30.0)
+        assert len(out) == 1
+        assert out[0].timestamp == 0.0  # earliest kept
+        assert stats.n_input == 3 and stats.n_output == 1
+
+    def test_chain_tupling_extends_past_threshold(self):
+        # gaps of 20 s chain together even though the first and last are
+        # 40 s apart (Hansen-Siewiorek tupling)
+        log = make_log(
+            [
+                (0.0, "a", {"location": "L1"}),
+                (20.0, "a", {"location": "L1"}),
+                (40.0, "a", {"location": "L1"}),
+            ]
+        )
+        out, _ = temporal_compress(log, 25.0)
+        assert len(out) == 1
+
+    def test_gap_beyond_threshold_splits(self):
+        log = make_log(
+            [(0.0, "a", {"location": "L1"}), (100.0, "a", {"location": "L1"})]
+        )
+        out, _ = temporal_compress(log, 50.0)
+        assert len(out) == 2
+
+    def test_different_locations_not_merged(self):
+        log = make_log(
+            [(0.0, "a", {"location": "L1"}), (1.0, "a", {"location": "L2"})]
+        )
+        out, _ = temporal_compress(log, 300.0)
+        assert len(out) == 2
+
+    def test_different_jobs_not_merged(self):
+        log = make_log(
+            [(0.0, "a", {"job_id": 1}), (1.0, "a", {"job_id": 2})]
+        )
+        out, _ = temporal_compress(log, 300.0)
+        assert len(out) == 2
+
+    def test_different_codes_not_merged(self):
+        log = make_log([(0.0, "a"), (1.0, "b")])
+        out, _ = temporal_compress(log, 300.0)
+        assert len(out) == 2
+
+    def test_zero_threshold_is_identity(self):
+        log = make_log([(0.0, "a"), (0.0, "a")])
+        out, stats = temporal_compress(log, 0.0)
+        assert len(out) == 2
+        assert stats.compression_rate == 0.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            temporal_compress(make_log([(0.0, "a")]), -1.0)
+
+
+class TestSpatialCompression:
+    def test_merges_across_locations(self):
+        log = make_log(
+            [
+                (0.0, "a", {"location": "L1", "job_id": 1}),
+                (5.0, "a", {"location": "L2", "job_id": 1}),
+                (9.0, "a", {"location": "L3", "job_id": 1}),
+            ]
+        )
+        out, _ = spatial_compress(log, 30.0)
+        assert len(out) == 1
+        assert out[0].location == "L1"
+
+    def test_different_jobs_kept(self):
+        log = make_log(
+            [
+                (0.0, "a", {"location": "L1", "job_id": 1}),
+                (1.0, "a", {"location": "L2", "job_id": 2}),
+            ]
+        )
+        out, _ = spatial_compress(log, 30.0)
+        assert len(out) == 2
+
+    def test_far_apart_kept(self):
+        log = make_log(
+            [
+                (0.0, "a", {"location": "L1"}),
+                (1000.0, "a", {"location": "L2"}),
+            ]
+        )
+        out, _ = spatial_compress(log, 30.0)
+        assert len(out) == 2
+
+
+class TestFullCompression:
+    def test_temporal_then_spatial(self):
+        # 2 locations × 3 repeats of the same logical event
+        specs = []
+        for loc in ("L1", "L2"):
+            for k in range(3):
+                specs.append((k * 10.0, "a", {"location": loc, "job_id": 7}))
+        log = make_log(specs)
+        out, stats = compress(log, 60.0)
+        assert len(out) == 1
+        assert stats.n_input == 6
+        assert stats.compression_rate == pytest.approx(5 / 6)
+
+    def test_stats_by_facility(self):
+        from repro.raslog.events import Facility
+
+        log = make_log(
+            [
+                (0.0, "a", {"facility": Facility.APP}),
+                (1.0, "a", {"facility": Facility.APP}),
+            ]
+        )
+        _, stats = compress(log, 10.0)
+        assert stats.by_facility[Facility.APP] == (2, 1)
+
+    def test_empty_log(self):
+        from repro.raslog.store import EventLog
+
+        out, stats = compress(EventLog(), 300.0)
+        assert len(out) == 0
+        assert stats.compression_rate == 0.0
+
+    def test_recovers_synthetic_logical_count(self, small_trace, catalog):
+        """The filter at the paper's threshold approximately undoes the
+        generator's duplication."""
+        from repro.preprocess.categorizer import Categorizer
+
+        categorized = Categorizer(small_trace.catalog).categorize(small_trace.raw)
+        out, stats = compress(categorized, 300.0)
+        n_clean = len(small_trace.clean)
+        assert stats.compression_rate > 0.9
+        assert 0.75 * n_clean <= len(out) <= 1.05 * n_clean
+
+
+class TestDeduplicateExact:
+    def test_removes_identical_rows(self):
+        log = make_log([(1.0, "a"), (1.0, "a"), (1.0, "b")])
+        assert len(deduplicate_exact(log)) == 2
+
+    def test_keeps_distinct_locations(self):
+        log = make_log(
+            [(1.0, "a", {"location": "L1"}), (1.0, "a", {"location": "L2"})]
+        )
+        assert len(deduplicate_exact(log)) == 2
+
+
+@st.composite
+def duplicate_streams(draw):
+    """Random logical events with random duplication."""
+    n_logical = draw(st.integers(min_value=1, max_value=12))
+    specs = []
+    for i in range(n_logical):
+        base = draw(st.floats(min_value=0, max_value=1e5, allow_nan=False))
+        n_dup = draw(st.integers(min_value=1, max_value=5))
+        for d in range(n_dup):
+            offset = draw(st.floats(min_value=0, max_value=50.0, allow_nan=False))
+            specs.append((base + offset, f"code{i}", {"job_id": i, "location": "L1"}))
+    return specs
+
+
+class TestProperties:
+    @given(duplicate_streams(), st.floats(min_value=0.0, max_value=500.0))
+    def test_output_never_larger(self, specs, threshold):
+        log = make_log(specs)
+        out, stats = compress(log, threshold)
+        assert len(out) <= len(log)
+        assert stats.n_output == len(out)
+
+    @given(duplicate_streams())
+    def test_monotone_in_threshold(self, specs):
+        log = make_log(specs)
+        sizes = [len(compress(log, t)[0]) for t in (0.0, 10.0, 60.0, 300.0)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    @given(duplicate_streams(), st.floats(min_value=0.0, max_value=500.0))
+    def test_idempotent(self, specs, threshold):
+        log = make_log(specs)
+        once, _ = compress(log, threshold)
+        twice, _ = compress(once, threshold)
+        assert len(once) == len(twice)
+
+    @given(duplicate_streams(), st.floats(min_value=1.0, max_value=500.0))
+    def test_kept_events_subset_of_input(self, specs, threshold):
+        log = make_log(specs)
+        out, _ = compress(log, threshold)
+        input_ids = {e.record_id for e in log}
+        assert {e.record_id for e in out} <= input_ids

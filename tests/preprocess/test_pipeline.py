@@ -1,0 +1,60 @@
+"""Integration tests for the preprocessing pipeline."""
+
+import pytest
+
+from repro.preprocess.pipeline import DEFAULT_THRESHOLD, PreprocessingPipeline
+from repro.raslog.events import Severity
+from tests.conftest import make_log
+
+
+class TestPipeline:
+    def test_default_threshold_is_papers(self):
+        assert DEFAULT_THRESHOLD == 300.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PreprocessingPipeline(threshold=-5.0)
+
+    def test_end_to_end_on_synthetic_raw(self, small_trace):
+        pipe = PreprocessingPipeline(small_trace.catalog)
+        result = pipe.run(small_trace.raw)
+        assert result.categorization.match_rate == 1.0
+        assert result.compression_rate > 0.9
+        # output is categorized: every entry_data is a catalog code
+        assert all(e.entry_data in pipe.catalog for e in result.clean)
+
+    def test_recovers_fatal_stream(self, small_trace):
+        pipe = PreprocessingPipeline(small_trace.catalog)
+        result = pipe.run(small_trace.raw)
+        fatal = result.clean.fatal(pipe.catalog)
+        # close to ground truth (storm members at one job/location coalesce)
+        assert 0.6 * small_trace.n_fatal <= len(fatal) <= small_trace.n_fatal
+
+    def test_demotes_fake_fatals(self, small_trace):
+        pipe = PreprocessingPipeline(small_trace.catalog)
+        result = pipe.run(small_trace.raw)
+        assert result.categorization.demoted_fatals > 0
+        fatal_codes = {e.entry_data for e in result.clean.fatal(pipe.catalog)}
+        fake_codes = {t.code for t in pipe.catalog.fake_fatal_types()}
+        assert not (fatal_codes & fake_codes)
+
+    def test_exact_duplicate_removal_toggle(self):
+        log = make_log(
+            [
+                (1.0, "KERNEL-N-000", {"severity": Severity.INFO}),
+                (1.0, "KERNEL-N-000", {"severity": Severity.INFO}),
+            ]
+        )
+        with_dedup = PreprocessingPipeline(threshold=0.0).run(log)
+        without = PreprocessingPipeline(
+            threshold=0.0, drop_exact_duplicates=False
+        ).run(log)
+        assert len(with_dedup.clean) == 1
+        assert len(without.clean) == 2
+
+    def test_unknown_policy_forwarded(self):
+        log = make_log([(1.0, "mystery event")])
+        skip = PreprocessingPipeline(unknown="skip").run(log)
+        keep = PreprocessingPipeline(unknown="keep").run(log)
+        assert len(skip.clean) == 0
+        assert len(keep.clean) == 1

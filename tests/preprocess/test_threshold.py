@@ -1,0 +1,89 @@
+"""Unit tests for the iterative filtering-threshold search (Table 4)."""
+
+import pytest
+
+from repro.preprocess.categorizer import Categorizer
+from repro.preprocess.threshold import (
+    TABLE4_THRESHOLDS,
+    find_threshold,
+    threshold_sweep,
+)
+from repro.raslog.store import EventLog
+from tests.conftest import make_log
+
+
+def duplicated_log():
+    specs = []
+    for i in range(20):
+        base = i * 5000.0
+        for rep in range(6):
+            specs.append((base + rep * 20.0, f"code{i % 4}", {"job_id": i}))
+    return make_log(specs)
+
+
+class TestSweep:
+    def test_zero_threshold_is_raw_count(self):
+        log = duplicated_log()
+        sweep = threshold_sweep(log, (0.0, 60.0, 300.0))
+        assert sweep.totals[0] == len(log)
+
+    def test_monotone_totals(self):
+        sweep = threshold_sweep(duplicated_log(), TABLE4_THRESHOLDS)
+        assert sweep.totals == sorted(sweep.totals, reverse=True)
+
+    def test_per_facility_sums_to_total(self):
+        sweep = threshold_sweep(duplicated_log(), (0.0, 120.0))
+        for i in range(2):
+            assert sum(col[i] for col in sweep.by_facility.values()) == sweep.totals[i]
+
+    def test_compression_rates(self):
+        sweep = threshold_sweep(duplicated_log(), (0.0, 300.0))
+        rates = sweep.compression_rates()
+        assert rates[0] == 0.0
+        assert rates[1] == pytest.approx(1.0 - 20 / 120)
+
+    def test_thresholds_must_ascend(self):
+        with pytest.raises(ValueError, match="ascending"):
+            threshold_sweep(duplicated_log(), (300.0, 0.0))
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            threshold_sweep(duplicated_log(), ())
+
+    def test_as_table_includes_total_row(self):
+        sweep = threshold_sweep(duplicated_log(), (0.0, 300.0))
+        table = sweep.as_table()
+        assert table.rows[-1]["facility"] == "TOTAL"
+        assert table.rows[-1]["0s"] == 120
+
+    def test_empty_log(self):
+        sweep = threshold_sweep(EventLog(), (0.0, 300.0))
+        assert sweep.totals == [0, 0]
+        assert sweep.compression_rates() == [0.0, 0.0]
+
+
+class TestFindThreshold:
+    def test_stops_when_gain_fades(self):
+        # duplicate reports are 20 s apart, so chain tupling at 60 s
+        # already coalesces every tuple; larger thresholds add no gain
+        log = duplicated_log()
+        chosen, sweep = find_threshold(log, (0.0, 60.0, 120.0, 200.0, 300.0))
+        assert chosen == 60.0
+        assert sweep.totals[-1] == 20
+
+    def test_requires_two_candidates(self):
+        with pytest.raises(ValueError, match="at least two"):
+            find_threshold(duplicated_log(), (300.0,))
+
+    def test_empty_log_returns_first(self):
+        chosen, _ = find_threshold(EventLog(), (0.0, 300.0))
+        assert chosen == 0.0
+
+    def test_on_synthetic_trace(self, small_trace):
+        categorized = Categorizer(small_trace.catalog).categorize(small_trace.raw)
+        chosen, sweep = find_threshold(categorized)
+        assert chosen in TABLE4_THRESHOLDS
+        assert chosen >= 10.0
+        # the paper's headline: high compression at the chosen threshold
+        idx = list(TABLE4_THRESHOLDS).index(chosen)
+        assert sweep.compression_rates()[idx] > 0.9

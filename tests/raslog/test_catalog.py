@@ -1,0 +1,150 @@
+"""Unit tests for the Table 3 event catalog."""
+
+import pytest
+
+from repro.raslog.catalog import (
+    TABLE3_COUNTS,
+    TOTAL_FATAL_TYPES,
+    TOTAL_NONFATAL_TYPES,
+    EventCatalog,
+    EventType,
+    build_catalog,
+    default_catalog,
+)
+from repro.raslog.events import Facility, Severity
+
+
+class TestTable3Counts:
+    def test_totals_match_paper(self, catalog):
+        assert len(catalog.fatal_types()) == TOTAL_FATAL_TYPES == 69
+        assert len(catalog.nonfatal_types()) == TOTAL_NONFATAL_TYPES == 150
+        assert len(catalog) == 219
+
+    def test_per_facility_counts(self, catalog):
+        assert catalog.counts_by_facility() == TABLE3_COUNTS
+
+    def test_kernel_dominates(self, catalog):
+        fatal, nonfatal = catalog.counts_by_facility()[Facility.KERNEL]
+        assert fatal == 46 and nonfatal == 90
+
+    def test_linkcard_has_no_nonfatal(self, catalog):
+        assert catalog.types_for(Facility.LINKCARD, fatal=False) == []
+
+
+class TestEventType:
+    def test_fatal_requires_fatal_severity(self):
+        with pytest.raises(ValueError, match="FATAL/FAILURE severity"):
+            EventType(
+                code="X-F-000",
+                facility=Facility.APP,
+                severity=Severity.WARNING,
+                description="x",
+                fatal=True,
+            )
+
+    def test_fake_fatal_cannot_be_fatal(self):
+        with pytest.raises(ValueError, match="both fatal and fake-fatal"):
+            EventType(
+                code="X-F-000",
+                facility=Facility.APP,
+                severity=Severity.FATAL,
+                description="x",
+                fatal=True,
+                fake_fatal=True,
+            )
+
+    def test_fake_fatal_requires_fatal_severity(self):
+        with pytest.raises(ValueError, match="FATAL/FAILURE severity"):
+            EventType(
+                code="X-N-000",
+                facility=Facility.APP,
+                severity=Severity.INFO,
+                description="x",
+                fatal=False,
+                fake_fatal=True,
+            )
+
+
+class TestFakeFatals:
+    def test_fake_fatals_exist(self, catalog):
+        fakes = catalog.fake_fatal_types()
+        assert len(fakes) >= 3
+
+    def test_fake_fatals_are_nonfatal_with_fatal_severity(self, catalog):
+        for t in catalog.fake_fatal_types():
+            assert not t.fatal
+            assert t.severity.is_fatal_class
+
+
+class TestLookups:
+    def test_get_by_code(self, catalog):
+        t = catalog.get("KERNEL-F-000")
+        assert t.facility is Facility.KERNEL
+        assert t.fatal
+
+    def test_get_unknown(self, catalog):
+        with pytest.raises(KeyError, match="unknown event-type code"):
+            catalog.get("NOPE-X-999")
+
+    def test_contains(self, catalog):
+        assert "KERNEL-F-000" in catalog
+        assert "NOPE" not in catalog
+
+    def test_index_dense_and_stable(self, catalog):
+        indices = [catalog.index(t.code) for t in catalog]
+        assert indices == list(range(len(catalog)))
+
+    def test_index_unknown(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.index("NOPE")
+
+    def test_by_description(self, catalog):
+        t = catalog.by_description(Facility.KERNEL, "uncorrectable torus error")
+        assert t.fatal
+
+    def test_by_description_unknown(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.by_description(Facility.KERNEL, "no such thing")
+
+    def test_is_fatal_code(self, catalog):
+        assert catalog.is_fatal_code("KERNEL-F-001")
+        assert not catalog.is_fatal_code("KERNEL-N-001")
+
+    def test_paper_example_names_present(self, catalog):
+        descriptions = {t.description for t in catalog}
+        assert "uncorrectable torus error" in descriptions
+        assert "uncorrectable error detected in edram bank" in descriptions
+
+
+class TestBuildCatalog:
+    def test_custom_counts(self):
+        cat = build_catalog({Facility.APP: (2, 3)}, include_fake_fatals=False)
+        assert len(cat) == 5
+        assert len(cat.fatal_types()) == 2
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            build_catalog({Facility.APP: (-1, 0)})
+
+    def test_duplicate_codes_rejected(self):
+        t = EventType(
+            code="A",
+            facility=Facility.APP,
+            severity=Severity.INFO,
+            description="d",
+            fatal=False,
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            EventCatalog([t, t])
+
+    def test_default_catalog_is_cached(self):
+        assert default_catalog() is default_catalog()
+
+    def test_codes_unique_across_facilities(self, catalog):
+        codes = [t.code for t in catalog]
+        assert len(codes) == len(set(codes))
+
+    def test_without_fake_fatals(self):
+        cat = build_catalog(include_fake_fatals=False)
+        assert len(cat) == 219
+        assert cat.fake_fatal_types() == []

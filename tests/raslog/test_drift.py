@@ -1,0 +1,153 @@
+"""Unit tests for regimes and pattern drift."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.raslog.catalog import default_catalog
+from repro.raslog.drift import ChainTemplate, RegimeSchedule
+from repro.raslog.profiles import SDSC_PROFILE, AnomalyWindow
+from repro.utils.randoms import SeedSequencePool
+
+
+def schedule_for(profile, seed=0):
+    return RegimeSchedule(profile, default_catalog(), SeedSequencePool(seed))
+
+
+class TestChainTemplate:
+    def test_needs_precursors(self):
+        with pytest.raises(ValueError, match="no precursors"):
+            ChainTemplate(fatal_code="X", precursors=())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="repeats"):
+            ChainTemplate(fatal_code="X", precursors=("a", "a"))
+
+    def test_key(self):
+        t = ChainTemplate(fatal_code="X", precursors=("a", "b"))
+        assert t.key == ("X", ("a", "b"))
+
+
+class TestScheduleStructure:
+    def test_deterministic(self):
+        a = schedule_for(SDSC_PROFILE, seed=3)
+        b = schedule_for(SDSC_PROFILE, seed=3)
+        for ra, rb in zip(a.regimes, b.regimes):
+            assert {t.key for t in ra.templates} == {t.key for t in rb.templates}
+            assert np.allclose(ra.fatal_weights, rb.fatal_weights)
+
+    def test_seed_changes_templates(self):
+        a = schedule_for(SDSC_PROFILE, seed=1)
+        b = schedule_for(SDSC_PROFILE, seed=2)
+        assert {t.key for t in a.regimes[0].templates} != {
+            t.key for t in b.regimes[0].templates
+        }
+
+    def test_regime_at_boundaries(self):
+        sched = schedule_for(SDSC_PROFILE)
+        regimes = sched.regimes
+        assert sched.regime_at(0) is regimes[0]
+        second = regimes[1]
+        assert sched.regime_at(second.start_week) is second
+        assert sched.regime_at(second.start_week - 1) is regimes[0]
+
+    def test_regime_at_negative_week(self):
+        with pytest.raises(ValueError):
+            schedule_for(SDSC_PROFILE).regime_at(-1)
+
+    def test_spans_cover_trace(self):
+        sched = schedule_for(SDSC_PROFILE)
+        spans = sched.spans()
+        assert spans[0][0] == 0
+        assert spans[-1][1] == SDSC_PROFILE.weeks
+        for (s0, e0, _), (s1, _, _) in zip(spans, spans[1:]):
+            assert e0 == s1
+
+    def test_fatal_weights_are_distribution(self):
+        for regime in schedule_for(SDSC_PROFILE).regimes:
+            assert regime.fatal_weights.sum() == pytest.approx(1.0)
+            assert (regime.fatal_weights >= 0).all()
+            assert len(regime.fatal_codes) == len(regime.fatal_weights)
+
+    def test_templates_attach_to_fatal_codes(self):
+        catalog = default_catalog()
+        for regime in schedule_for(SDSC_PROFILE).regimes[:4]:
+            for t in regime.templates:
+                assert catalog.is_fatal_code(t.fatal_code)
+                for p in t.precursors:
+                    assert not catalog.is_fatal_code(p)
+
+
+class TestDrift:
+    def test_gradual_drift_keeps_majority(self):
+        sched = schedule_for(SDSC_PROFILE, seed=9)
+        period = SDSC_PROFILE.drift_period_weeks
+        kept, added, removed = sched.template_churn(0, period)
+        assert kept > added  # most templates survive one drift step
+        assert added == removed  # template count is conserved per regime
+
+    def test_drift_accumulates(self):
+        sched = schedule_for(SDSC_PROFILE, seed=9)
+        kept_short, _, _ = sched.template_churn(0, 8)
+        kept_long, _, _ = sched.template_churn(0, 48)
+        assert kept_long <= kept_short
+
+    def test_reconfiguration_resets_process_params(self):
+        sched = schedule_for(SDSC_PROFILE, seed=4)
+        reconfig_week = 60
+        before = sched.regime_at(reconfig_week - 1)
+        after = sched.regime_at(reconfig_week)
+        assert after.start_week == reconfig_week
+        # wholesale resample: parameters jump rather than blend
+        assert before.rate_multiplier != after.rate_multiplier
+
+    def test_no_reconfig_without_anomaly(self):
+        profile = dataclasses.replace(SDSC_PROFILE, anomalies=())
+        sched = schedule_for(profile)
+        starts = [r.start_week for r in sched.regimes]
+        assert all(s % profile.drift_period_weeks == 0 for s in starts)
+
+    def test_process_params_within_bounds(self):
+        for regime in schedule_for(SDSC_PROFILE, seed=2).regimes:
+            assert regime.rate_multiplier > 0
+            assert 0.0 < regime.cascade_prob <= 0.65
+            assert 0.0 < regime.storm_prob <= 0.55
+
+    def test_template_for_missing_code(self):
+        regime = schedule_for(SDSC_PROFILE).regimes[0]
+        assert regime.template_for("NOPE-F-999") is None
+
+    def test_storm_anomaly_does_not_create_regime(self):
+        profile = dataclasses.replace(
+            SDSC_PROFILE,
+            anomalies=(
+                AnomalyWindow(kind="storm", start_week=10, end_week=12),
+            ),
+        )
+        sched = schedule_for(profile)
+        starts = [r.start_week for r in sched.regimes]
+        assert all(s % profile.drift_period_weeks == 0 for s in starts)
+
+
+class TestFloodTemplates:
+    def test_flood_factors_sampled(self):
+        sched = schedule_for(SDSC_PROFILE, seed=1)
+        factors = {t.flood_factor for t in sched.regimes[0].templates}
+        assert factors <= {1, 3, 6}
+        assert 1 in factors  # most templates do not flood
+
+    def test_flood_factor_validation(self):
+        with pytest.raises(ValueError, match="flood_factor"):
+            ChainTemplate(fatal_code="X", precursors=("a",), flood_factor=0)
+
+    def test_lead_scale_validation(self):
+        with pytest.raises(ValueError, match="lead scale"):
+            ChainTemplate(fatal_code="X", precursors=("a",), lead_scale=0.0)
+
+    def test_lead_scales_span_minutes_to_hour(self):
+        sched = schedule_for(SDSC_PROFILE, seed=1)
+        scales = [t.lead_scale for t in sched.regimes[0].templates]
+        assert min(scales) >= 60.0
+        assert max(scales) <= 3600.0
+        assert max(scales) > 3 * min(scales)  # genuinely diverse

@@ -1,0 +1,98 @@
+"""Unit tests for the RAS event model."""
+
+import pytest
+
+from repro.raslog.events import FACILITIES, Facility, RASEvent, Severity
+from tests.conftest import make_event
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert (
+            Severity.INFO
+            < Severity.WARNING
+            < Severity.SEVERE
+            < Severity.ERROR
+            < Severity.FATAL
+            < Severity.FAILURE
+        )
+
+    def test_fatal_class(self):
+        assert Severity.FATAL.is_fatal_class
+        assert Severity.FAILURE.is_fatal_class
+        assert not Severity.ERROR.is_fatal_class
+        assert not Severity.INFO.is_fatal_class
+
+    def test_parse_case_insensitive(self):
+        assert Severity.parse(" fatal ") is Severity.FATAL
+        assert Severity.parse("Info") is Severity.INFO
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("CATASTROPHIC")
+
+
+class TestFacility:
+    def test_all_ten_facilities(self):
+        assert len(FACILITIES) == 10
+
+    def test_parse_variants(self):
+        assert Facility.parse("kernel") is Facility.KERNEL
+        assert Facility.parse("SERV-NET") is Facility.SERV_NET
+        assert Facility.parse("serv net") is Facility.SERV_NET
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown facility"):
+            Facility.parse("FOO")
+
+
+class TestRASEvent:
+    def test_construction(self):
+        e = make_event(10.0, "msg")
+        assert e.timestamp == 10.0
+        assert e.entry_data == "msg"
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="negative timestamp"):
+            make_event(-1.0)
+
+    def test_negative_record_id_rejected(self):
+        with pytest.raises(ValueError, match="negative record id"):
+            make_event(1.0, record_id=-5)
+
+    def test_frozen(self):
+        e = make_event(1.0)
+        with pytest.raises(AttributeError):
+            e.timestamp = 2.0
+
+    def test_is_fatal_class_follows_severity(self):
+        assert make_event(1.0, severity=Severity.FAILURE).is_fatal_class
+        assert not make_event(1.0, severity=Severity.WARNING).is_fatal_class
+
+    def test_with_entry_data(self):
+        e = make_event(1.0, "old")
+        e2 = e.with_entry_data("new")
+        assert e2.entry_data == "new"
+        assert e.entry_data == "old"
+        assert e2.timestamp == e.timestamp
+
+    def test_with_timestamp(self):
+        e = make_event(1.0)
+        assert e.with_timestamp(9.0).timestamp == 9.0
+
+    def test_as_dict_round_trips_fields(self):
+        e = make_event(5.0, "x", facility=Facility.APP, severity=Severity.ERROR)
+        d = e.as_dict()
+        assert d["facility"] == "APP"
+        assert d["severity"] == "ERROR"
+        assert d["timestamp"] == 5.0
+        assert set(d) == {
+            "record_id",
+            "event_type",
+            "timestamp",
+            "job_id",
+            "location",
+            "entry_data",
+            "facility",
+            "severity",
+        }

@@ -1,0 +1,234 @@
+"""Unit and statistical tests for the synthetic log generator."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.raslog.events import Facility
+from repro.raslog.generator import GeneratorConfig, LogGenerator, generate_log
+from repro.raslog.profiles import ANL_PROFILE, SDSC_PROFILE
+from repro.utils.timeutil import WEEK_SECONDS
+
+
+class TestConfigValidation:
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            GeneratorConfig(scale=0.0)
+
+    def test_bad_weeks(self):
+        with pytest.raises(ValueError, match="weeks"):
+            GeneratorConfig(weeks=0)
+
+    def test_bad_spread(self):
+        with pytest.raises(ValueError, match="duplicate_spread"):
+            GeneratorConfig(duplicate_spread=-1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        cfg = GeneratorConfig(scale=0.2, weeks=6, seed=11)
+        a = generate_log(SDSC_PROFILE, cfg)
+        b = generate_log(SDSC_PROFILE, cfg)
+        assert np.array_equal(a.fatal_times, b.fatal_times)
+        assert a.fatal_codes == b.fatal_codes
+        assert len(a.clean) == len(b.clean)
+        assert [e.entry_data for e in a.clean] == [e.entry_data for e in b.clean]
+
+    def test_different_seed_differs(self):
+        a = generate_log(SDSC_PROFILE, GeneratorConfig(scale=0.2, weeks=6, seed=1))
+        b = generate_log(SDSC_PROFILE, GeneratorConfig(scale=0.2, weeks=6, seed=2))
+        assert not np.array_equal(a.fatal_times, b.fatal_times)
+
+
+class TestCleanStream:
+    def test_within_duration(self, small_trace):
+        duration = small_trace.profile.duration_seconds
+        assert small_trace.clean.timestamps[0] >= 0
+        assert small_trace.clean.timestamps[-1] < duration
+
+    def test_entry_data_are_catalog_codes(self, small_trace):
+        catalog = small_trace.catalog
+        assert all(e.entry_data in catalog for e in small_trace.clean)
+
+    def test_severity_matches_catalog_type(self, small_trace):
+        catalog = small_trace.catalog
+        for e in small_trace.clean:
+            assert e.severity is catalog.get(e.entry_data).severity
+            assert e.facility is catalog.get(e.entry_data).facility
+
+    def test_fatal_events_match_ground_truth(self, small_trace):
+        fatal = small_trace.clean.fatal(small_trace.catalog)
+        assert len(fatal) == small_trace.n_fatal
+        assert np.allclose(fatal.timestamps, small_trace.fatal_times)
+
+    def test_fatal_codes_aligned(self, small_trace):
+        assert len(small_trace.fatal_codes) == small_trace.n_fatal
+
+    def test_fatal_rate_close_to_profile(self):
+        syn = generate_log(
+            SDSC_PROFILE, GeneratorConfig(scale=1.0, weeks=30, seed=3, duplicates=False)
+        )
+        # primary rate * cascade multiplier; loose 2x band, regime-modulated
+        weekly = syn.n_fatal / 30
+        assert 10 < weekly < 90
+
+    def test_fake_fatals_present(self, small_trace):
+        catalog = small_trace.catalog
+        fakes = {t.code for t in catalog.fake_fatal_types()}
+        assert any(e.entry_data in fakes for e in small_trace.clean)
+
+
+class TestPrecursors:
+    def test_backed_failures_have_precursors(self):
+        syn = generate_log(
+            SDSC_PROFILE, GeneratorConfig(scale=0.5, weeks=12, seed=8, duplicates=False)
+        )
+        lead_lo, lead_hi = syn.profile.precursor_lead
+        nonfatal = syn.clean.nonfatal(syn.catalog)
+        for idx in syn.precursor_backed[:20]:
+            t = syn.fatal_times[idx]
+            window = nonfatal.between(t - lead_hi - 1.0, t)
+            assert len(window) >= 1
+
+    def test_backed_fraction_near_profile(self):
+        syn = generate_log(
+            SDSC_PROFILE, GeneratorConfig(scale=1.0, weeks=30, seed=8, duplicates=False)
+        )
+        frac = len(syn.precursor_backed) / syn.n_fatal
+        target = syn.profile.precursor_fraction
+        assert 0.4 * target < frac < 1.6 * target
+
+    def test_no_precursors_when_fraction_zero(self):
+        profile = dataclasses.replace(
+            SDSC_PROFILE, precursor_fraction=0.0, anomalies=()
+        )
+        syn = generate_log(
+            profile, GeneratorConfig(scale=0.3, weeks=8, seed=1, duplicates=False)
+        )
+        assert syn.precursor_backed == []
+
+
+class TestBursts:
+    def test_cascades_create_close_failures(self):
+        syn = generate_log(
+            SDSC_PROFILE, GeneratorConfig(scale=1.0, weeks=30, seed=3, duplicates=False)
+        )
+        gaps = np.diff(syn.fatal_times)
+        assert (gaps <= 300.0).mean() > 0.3  # Figure 4's close proximity
+
+    def test_overall_interarrival_is_overdispersed(self):
+        syn = generate_log(
+            SDSC_PROFILE, GeneratorConfig(scale=1.0, weeks=30, seed=3, duplicates=False)
+        )
+        gaps = np.diff(syn.fatal_times)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.2  # clustered, far from a renewal exponential (cv=1)
+
+
+class TestRawStream:
+    def test_raw_larger_than_clean(self, small_trace):
+        assert len(small_trace.raw) > 2 * len(small_trace.clean)
+
+    def test_raw_descriptions_not_codes(self, small_trace):
+        catalog = small_trace.catalog
+        assert all(e.entry_data not in catalog for e in small_trace.raw)
+
+    def test_duplicates_share_job_id(self, small_trace):
+        # every raw record's (job, description) pair traces to a clean event
+        clean_pairs = {
+            (e.job_id, small_trace.catalog.get(e.entry_data).description)
+            for e in small_trace.clean
+        }
+        raw_pairs = {(e.job_id, e.entry_data) for e in small_trace.raw}
+        assert raw_pairs <= clean_pairs
+
+    def test_duplicates_spread_below_threshold(self, small_trace):
+        spread = small_trace.config.duplicate_spread
+        # per (job, description), max time spread stays within the cap
+        by_key = {}
+        for e in small_trace.raw:
+            by_key.setdefault((e.job_id, e.entry_data), []).append(e.timestamp)
+        clean_by_key = {}
+        for e in small_trace.clean:
+            desc = small_trace.catalog.get(e.entry_data).description
+            clean_by_key.setdefault((e.job_id, desc), []).append(e.timestamp)
+        for key, times in list(by_key.items())[:200]:
+            origins = clean_by_key[key]
+            for t in times:
+                assert any(-1e-9 <= t - o <= spread + 1e-6 for o in origins)
+
+    def test_duplicates_disabled(self):
+        syn = generate_log(
+            SDSC_PROFILE, GeneratorConfig(scale=0.2, weeks=4, seed=1, duplicates=False)
+        )
+        assert syn.raw is None
+
+    def test_max_raw_events_guard(self):
+        cfg = GeneratorConfig(scale=0.3, weeks=10, seed=42, max_raw_events=100)
+        with pytest.raises(RuntimeError, match="max_raw_events"):
+            generate_log(SDSC_PROFILE, cfg)
+
+    def test_record_ids_sequential(self, small_trace):
+        ids = [e.record_id for e in small_trace.raw[:500]]
+        assert ids == list(range(500))
+
+
+class TestAnomalies:
+    def test_anl_storm_inflates_background(self):
+        syn = generate_log(
+            ANL_PROFILE, GeneratorConfig(scale=0.3, weeks=52, seed=6, duplicates=False)
+        )
+        nonfatal = syn.clean.nonfatal(syn.catalog)
+        storm = syn.profile.anomalies[0]
+        in_storm = len(
+            nonfatal.slice_weeks(storm.start_week, storm.end_week)
+        ) / (storm.end_week - storm.start_week)
+        quiet = len(nonfatal.slice_weeks(20, 40)) / 20
+        assert in_storm > 5 * quiet
+
+    def test_facility_mix_kernel_heavy(self):
+        syn = generate_log(
+            ANL_PROFILE, GeneratorConfig(scale=0.3, weeks=20, seed=6, duplicates=False)
+        )
+        counts = syn.clean.counts_by_facility()
+        assert counts[Facility.KERNEL] == max(counts.values())
+
+
+class TestTopology:
+    def test_locations_match_system_size(self):
+        gen = LogGenerator(SDSC_PROFILE, GeneratorConfig(scale=0.1, weeks=2))
+        locations = gen._build_locations()
+        assert len(locations) == SDSC_PROFILE.racks * SDSC_PROFILE.midplanes_per_rack * 16
+        assert all(loc.startswith("R") for loc in locations)
+
+    def test_all_event_locations_valid(self, small_trace):
+        gen = LogGenerator(small_trace.profile, small_trace.config)
+        valid = set(gen._build_locations())
+        assert {e.location for e in small_trace.clean} <= valid
+
+
+class TestFloodEmission:
+    def test_flooding_templates_emit_repeats(self):
+        """Fatals whose template floods produce multiple copies of the
+        first precursor inside the lead span."""
+        syn = generate_log(
+            SDSC_PROFILE, GeneratorConfig(scale=1.0, weeks=20, seed=8, duplicates=False)
+        )
+        nonfatal = syn.clean.nonfatal(syn.catalog)
+        found_flood = False
+        for idx in syn.precursor_backed:
+            t = syn.fatal_times[idx]
+            code = syn.fatal_codes[idx]
+            regime = syn.schedule.regime_at(int(t // (7 * 86400)))
+            template = regime.template_for(code)
+            if template is None or template.flood_factor < 3:
+                continue
+            window = nonfatal.between(t - 7200.0, t)
+            counts = {}
+            for e in window:
+                counts[e.entry_data] = counts.get(e.entry_data, 0) + 1
+            if counts.get(template.precursors[0], 0) >= 2:
+                found_flood = True
+                break
+        assert found_flood

@@ -1,0 +1,135 @@
+"""Unit tests for system profiles."""
+
+import pytest
+
+from repro.raslog.events import Facility
+from repro.raslog.profiles import (
+    ANL_PROFILE,
+    SDSC_PROFILE,
+    TABLE4_FILTERED,
+    TABLE4_RAW,
+    AnomalyWindow,
+    get_profile,
+)
+
+
+class TestAnomalyWindow:
+    def test_covers(self):
+        a = AnomalyWindow(kind="storm", start_week=5, end_week=8)
+        assert a.covers(5) and a.covers(7)
+        assert not a.covers(4) and not a.covers(8)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown anomaly kind"):
+            AnomalyWindow(kind="party", start_week=0, end_week=1)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            AnomalyWindow(kind="storm", start_week=3, end_week=3)
+
+
+class TestCalibration:
+    def test_anl_dimensions(self):
+        assert ANL_PROFILE.racks == 1
+        assert ANL_PROFILE.compute_nodes == 1024
+        assert ANL_PROFILE.weeks == 112
+
+    def test_sdsc_dimensions(self):
+        assert SDSC_PROFILE.racks == 3
+        assert SDSC_PROFILE.compute_nodes == 3072
+        assert SDSC_PROFILE.weeks == 132
+
+    def test_rates_from_table4(self):
+        # weekly rate * weeks reproduces the Table 4 300 s column
+        for profile, system in ((ANL_PROFILE, "ANL"), (SDSC_PROFILE, "SDSC")):
+            for fac, count in TABLE4_FILTERED[system].items():
+                rate = profile.nonfatal_weekly_rates[fac]
+                assert rate * profile.weeks == pytest.approx(count)
+
+    def test_duplication_factors_from_table4(self):
+        # spatial * temporal reproduces each facility's raw/filtered ratio
+        for profile, system in ((ANL_PROFILE, "ANL"), (SDSC_PROFILE, "SDSC")):
+            for fac, raw in TABLE4_RAW[system].items():
+                filtered = TABLE4_FILTERED[system][fac]
+                if filtered == 0:
+                    continue
+                product = (
+                    profile.duplication_spatial[fac]
+                    * profile.duplication_temporal[fac]
+                )
+                assert product == pytest.approx(raw / filtered, rel=1e-6)
+
+    def test_anl_kernel_duplication_dominates(self):
+        factor = (
+            ANL_PROFILE.duplication_spatial[Facility.KERNEL]
+            * ANL_PROFILE.duplication_temporal[Facility.KERNEL]
+        )
+        assert factor > 200  # 5.82 M raw vs 26.8 K filtered
+
+    def test_anl_has_storm_anomaly(self):
+        kinds = [a.kind for a in ANL_PROFILE.anomalies]
+        assert "storm" in kinds
+
+    def test_sdsc_has_reconfig_anomaly(self):
+        reconfigs = [a for a in SDSC_PROFILE.anomalies if a.kind == "reconfig"]
+        assert len(reconfigs) == 1
+        assert reconfigs[0].start_week == 60
+
+
+class TestScaling:
+    def test_rates_scale(self):
+        scaled = SDSC_PROFILE.scaled(0.5)
+        for fac, rate in SDSC_PROFILE.nonfatal_weekly_rates.items():
+            assert scaled.nonfatal_weekly_rates[fac] == pytest.approx(rate * 0.5)
+        assert scaled.fatal_weekly_rate == pytest.approx(
+            SDSC_PROFILE.fatal_weekly_rate * 0.5
+        )
+
+    def test_structure_preserved(self):
+        scaled = SDSC_PROFILE.scaled(0.1)
+        assert scaled.duplication_spatial == SDSC_PROFILE.duplication_spatial
+        assert scaled.weibull_shape == SDSC_PROFILE.weibull_shape
+        assert scaled.drift_fraction == SDSC_PROFILE.drift_fraction
+
+    def test_weeks_override_truncates_anomalies(self):
+        scaled = SDSC_PROFILE.scaled(1.0, weeks=30)
+        assert scaled.weeks == 30
+        assert all(a.end_week <= 30 for a in scaled.anomalies)
+        # the week-60 reconfiguration falls outside a 30-week trace
+        assert not any(a.kind == "reconfig" for a in scaled.anomalies)
+
+    def test_anomaly_clip_keeps_partial_window(self):
+        scaled = ANL_PROFILE.scaled(1.0, weeks=50)
+        storm = [a for a in scaled.anomalies if a.kind == "storm"]
+        assert len(storm) == 1
+        assert storm[0].end_week == 50
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale must be positive"):
+            SDSC_PROFILE.scaled(0.0)
+
+    def test_invalid_weeks(self):
+        with pytest.raises(ValueError, match="weeks must be positive"):
+            SDSC_PROFILE.scaled(1.0, weeks=0)
+
+
+class TestRegistry:
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("sdsc") is SDSC_PROFILE
+        assert get_profile("ANL") is ANL_PROFILE
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError, match="unknown system profile"):
+            get_profile("LLNL")
+
+    def test_validation(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(SDSC_PROFILE, weeks=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(SDSC_PROFILE, precursor_fraction=1.5)
+        with pytest.raises(ValueError):
+            dataclasses.replace(SDSC_PROFILE, weibull_shape=-1.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(SDSC_PROFILE, fatal_weekly_rate=0.0)

@@ -1,0 +1,133 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def raw_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "raw.log"
+    rc = main(
+        [
+            "generate",
+            "--system",
+            "SDSC",
+            "--scale",
+            "0.2",
+            "--weeks",
+            "12",
+            "--seed",
+            "4",
+            "--output",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def clean_log(raw_log, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "clean.log"
+    rc = main(["preprocess", str(raw_log), "--output", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_loghub_format(self, raw_log):
+        lines = raw_log.read_text().splitlines()
+        assert len(lines) > 100
+        fields = lines[0].split()
+        assert fields[6] == "RAS"
+
+    def test_clean_flag(self, tmp_path, capsys):
+        path = tmp_path / "clean_gen.log"
+        rc = main(
+            [
+                "generate", "--system", "ANL", "--scale", "0.1",
+                "--weeks", "4", "--clean", "--output", str(path),
+            ]
+        )
+        assert rc == 0
+        assert "clean (categorized)" in capsys.readouterr().out
+        assert path.exists()
+
+
+class TestPreprocess:
+    def test_compresses(self, raw_log, clean_log):
+        n_raw = len(raw_log.read_text().splitlines())
+        n_clean = len(clean_log.read_text().splitlines())
+        assert 0 < n_clean < n_raw / 5
+
+    def test_reports_stats(self, raw_log, tmp_path, capsys):
+        out = tmp_path / "c.log"
+        main(["preprocess", str(raw_log), "--output", str(out)])
+        text = capsys.readouterr().out
+        assert "compression" in text
+        assert "0 skipped" in text
+
+
+class TestTrainPredict:
+    def test_train_writes_rule_json(self, clean_log, tmp_path):
+        rules = tmp_path / "rules.json"
+        rc = main(["train", str(clean_log), "--output", str(rules)])
+        assert rc == 0
+        payload = json.loads(rules.read_text())
+        assert payload["format_version"] == 1
+        assert payload["n_rules"] == len(payload["records"])
+
+    def test_predict_consumes_rules(self, clean_log, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        main(["train", str(clean_log), "--output", str(rules)])
+        rc = main(
+            ["predict", str(clean_log), "--rules", str(rules), "--verbose"]
+        )
+        assert rc == 0
+        assert "warnings" in capsys.readouterr().out
+
+    def test_train_no_reviser_keeps_all(self, clean_log, tmp_path, capsys):
+        with_r = tmp_path / "with.json"
+        without = tmp_path / "without.json"
+        main(["train", str(clean_log), "--output", str(with_r)])
+        main(["train", str(clean_log), "--no-reviser", "--output", str(without)])
+        n_with = json.loads(with_r.read_text())["n_rules"]
+        n_without = json.loads(without.read_text())["n_rules"]
+        assert n_without >= n_with
+
+
+class TestRun:
+    def test_full_loop(self, tmp_path, capsys):
+        log = tmp_path / "run.log"
+        main(
+            [
+                "generate", "--system", "SDSC", "--scale", "0.5",
+                "--weeks", "20", "--seed", "7", "--clean",
+                "--output", str(log),
+            ]
+        )
+        rc = main(
+            [
+                "run", str(log), "--initial-weeks", "12",
+                "--retrain-weeks", "4",
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "precision=" in text
+        assert "weekly accuracy" in text
+
+
+class TestExperiment:
+    def test_known_driver(self, capsys):
+        rc = main(["experiment", "table3"])
+        assert rc == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_unknown_driver(self, capsys):
+        rc = main(["experiment", "figure99"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,164 @@
+"""Failure-injection and degenerate-input robustness tests.
+
+A production monitor must survive pathological inputs: quiet systems with
+no failures, training windows with no events at all, garbage in the log
+stream, and learners that blow up.  These tests pin the intended behaviour
+for each.
+"""
+
+import io
+
+import pytest
+
+from repro.core.framework import DynamicMetaLearningFramework, FrameworkConfig
+from repro.core.meta import MetaLearner
+from repro.core.online import OnlinePredictionSession
+from repro.core.predictor import Predictor
+from repro.core.reviser import Reviser
+from repro.core.windows import static_initial
+from repro.learners.base import BaseLearner
+from repro.raslog.events import Severity
+from repro.raslog.parser import ParseReport, load_log
+from repro.raslog.store import EventLog
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.conftest import make_event, make_log
+
+
+def quiet_log(weeks=30):
+    """Background chatter, zero failures."""
+    specs = [
+        (w * WEEK_SECONDS + k * 30_000.0, "KERNEL-N-000", {"severity": Severity.INFO})
+        for w in range(weeks)
+        for k in range(10)
+    ]
+    return make_log(specs)
+
+
+class TestNoFailures:
+    def test_learners_return_empty(self, catalog):
+        meta = MetaLearner(catalog=catalog)
+        output = meta.train(quiet_log(8), 300.0)
+        assert output.n_rules == 0
+
+    def test_framework_run_completes(self, catalog):
+        config = FrameworkConfig(initial_train_weeks=10, retrain_weeks=8)
+        result = DynamicMetaLearningFramework(config, catalog=catalog).run(
+            quiet_log(20)
+        )
+        assert result.warnings == []
+        assert result.overall.precision == 0.0
+        assert result.overall.recall == 0.0
+        assert all(e.n_candidates == 0 for e in result.retrains)
+
+    def test_online_session_completes(self, catalog):
+        config = FrameworkConfig(initial_train_weeks=10, retrain_weeks=8)
+        session = OnlinePredictionSession(config, catalog=catalog)
+        for event in quiet_log(20):
+            assert session.ingest(event) == []
+        assert session.summary().n_fatal == 0
+
+
+class TestEmptyTrainingWindows:
+    def test_framework_with_empty_weeks(self, catalog):
+        """Events only in the test period: training sees nothing."""
+        specs = [
+            (25 * WEEK_SECONDS + k * 1000.0, "KERNEL-F-000", {"severity": Severity.FATAL})
+            for k in range(50)
+        ]
+        log = make_log(specs + [(29 * WEEK_SECONDS - 1.0, "KERNEL-N-000", {})])
+        config = FrameworkConfig(initial_train_weeks=20, retrain_weeks=4)
+        result = DynamicMetaLearningFramework(config, catalog=catalog).run(log)
+        # the first retrain trains on emptiness, later ones pick up data
+        assert result.retrains[0].n_candidates == 0
+        assert result.end_week >= 29
+
+    def test_reviser_with_empty_log(self, catalog):
+        result = Reviser(catalog=catalog).revise([], EventLog(), 300.0)
+        assert result.kept == []
+
+    def test_predictor_empty_rules_and_log(self, catalog):
+        predictor = Predictor([], 300.0, catalog)
+        assert predictor.replay(EventLog()) == []
+
+
+class _ExplodingLearner(BaseLearner):
+    name = "exploding"
+
+    def train(self, log, window):
+        raise RuntimeError("deliberate failure")
+
+
+class TestLearnerFailure:
+    def test_meta_propagates_learner_errors(self, catalog, mid_trace):
+        """A crashing learner must surface, not be silently swallowed."""
+        meta = MetaLearner([_ExplodingLearner(catalog)], catalog=catalog)
+        with pytest.raises(RuntimeError, match="deliberate failure"):
+            meta.train(mid_trace.clean.slice_weeks(0, 4), 300.0)
+
+
+class TestGarbageInTheStream:
+    def test_parser_survives_binary_noise(self):
+        noise = "\x00\x01\x02 garbage\nnot a log line\n- notanepoch x y z\n"
+        report = ParseReport()
+        log = load_log(io.StringIO(noise), report=report)
+        assert len(log) == 0
+        assert report.skipped >= 2
+
+    def test_framework_ignores_uncatalogued_codes(self, catalog):
+        """Unknown entry_data values flow through as non-fatal chatter."""
+        specs = []
+        for i in range(200):
+            t = i * 10_000.0
+            specs.append((t, "weird-unknown-code", {}))
+            if i % 4 == 0:
+                specs.append((t + 50.0, "KERNEL-F-000", {"severity": Severity.FATAL}))
+        log = make_log(specs)
+        config = FrameworkConfig(
+            initial_train_weeks=1, retrain_weeks=2, policy=static_initial(1)
+        )
+        result = DynamicMetaLearningFramework(config, catalog=catalog).run(log)
+        assert result.end_week == log.n_weeks  # completed
+
+
+class TestDegenerateConfigs:
+    def test_single_event_log(self, catalog):
+        log = make_log([(5.0, "KERNEL-N-000", {})])
+        config = FrameworkConfig(initial_train_weeks=1)
+        with pytest.raises(ValueError, match="nothing to evaluate"):
+            DynamicMetaLearningFramework(config, catalog=catalog).run(log)
+
+    def test_window_larger_than_trace(self, catalog, mid_trace):
+        """A 2-day prediction window on a short trace still works."""
+        config = FrameworkConfig(
+            prediction_window=2 * 86400.0,
+            initial_train_weeks=20,
+        )
+        result = DynamicMetaLearningFramework(
+            config, catalog=mid_trace.catalog
+        ).run(mid_trace.clean, end_week=24)
+        assert result.end_week == 24
+
+    def test_retrain_every_week(self, catalog, mid_trace):
+        config = FrameworkConfig(initial_train_weeks=20, retrain_weeks=1)
+        result = DynamicMetaLearningFramework(
+            config, catalog=mid_trace.catalog
+        ).run(mid_trace.clean, end_week=26)
+        assert len(result.retrains) == 6
+
+
+class TestEventEdgeCases:
+    def test_simultaneous_events(self, catalog):
+        """Events with identical timestamps are processed in order."""
+        predictor = Predictor([], 300.0, catalog)
+        e1 = make_event(10.0, "KERNEL-N-000")
+        e2 = make_event(10.0, "KERNEL-N-001")
+        predictor.observe(e1)
+        predictor.observe(e2)  # must not raise
+        assert len(predictor.state.monitoring) == 2
+
+    def test_event_exactly_at_week_boundary(self, catalog):
+        log = make_log(
+            [(WEEK_SECONDS, "KERNEL-N-000", {}), (WEEK_SECONDS - 0.001, "KERNEL-N-001", {})]
+        )
+        assert len(log.week(0)) == 1
+        assert len(log.week(1)) == 1

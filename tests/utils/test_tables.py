@@ -1,0 +1,83 @@
+"""Unit tests for table formatting."""
+
+import pytest
+
+from repro.utils.tables import TableResult, format_table
+
+
+class TestTableResult:
+    def test_add_row_and_len(self):
+        t = TableResult(title="t", columns=["a", "b"])
+        t.add_row(a=1, b=2)
+        t.add_row(a=3, b=4)
+        assert len(t) == 2
+
+    def test_missing_column_rejected(self):
+        t = TableResult(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError, match="missing"):
+            t.add_row(a=1)
+
+    def test_extra_column_rejected(self):
+        t = TableResult(title="t", columns=["a"])
+        with pytest.raises(ValueError, match="extra"):
+            t.add_row(a=1, b=2)
+
+    def test_column_extraction(self):
+        t = TableResult(title="t", columns=["a", "b"])
+        t.add_row(a=1, b="x")
+        t.add_row(a=2, b="y")
+        assert t.column("a") == [1, 2]
+        assert t.column("b") == ["x", "y"]
+
+    def test_unknown_column_raises(self):
+        t = TableResult(title="t", columns=["a"])
+        with pytest.raises(KeyError):
+            t.column("zzz")
+
+
+class TestFormatting:
+    def test_render_contains_title_and_rows(self):
+        t = TableResult(title="My Table", columns=["name", "value"])
+        t.add_row(name="x", value=1.23456)
+        text = t.render()
+        assert "My Table" in text
+        assert "name" in text
+        assert "1.235" in text  # default .3f
+
+    def test_meta_rendered(self):
+        t = TableResult(title="t", columns=["a"], meta={"seed": 3})
+        t.add_row(a=1)
+        assert "seed=3" in t.render()
+
+    def test_floatfmt(self):
+        t = TableResult(title="t", columns=["v"])
+        t.add_row(v=0.123456)
+        assert "0.1235" in t.render(floatfmt=".4f")
+
+    def test_bool_cells(self):
+        t = TableResult(title="t", columns=["ok"])
+        t.add_row(ok=True)
+        t.add_row(ok=False)
+        text = t.render()
+        assert "yes" in text and "no" in text
+
+    def test_mapping_input(self):
+        text = format_table({"a": [1, 2], "b": [3, 4]})
+        assert "a" in text and "4" in text
+
+    def test_mapping_ragged_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            format_table({"a": [1, 2], "b": [3]})
+
+    def test_empty_table_renders_header(self):
+        t = TableResult(title="empty", columns=["a", "b"])
+        text = t.render()
+        assert "a" in text and "b" in text
+
+    def test_alignment_consistent(self):
+        t = TableResult(title="", columns=["col"])
+        t.add_row(col="short")
+        t.add_row(col="much longer value")
+        lines = t.render().splitlines()
+        widths = {len(line) for line in lines if line.strip()}
+        assert len(widths) == 1

@@ -1,0 +1,77 @@
+"""Unit tests for time arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.timeutil import (
+    DAY_SECONDS,
+    WEEK_SECONDS,
+    day_index,
+    months,
+    week_index,
+    week_span,
+    weeks,
+)
+
+
+class TestDurations:
+    def test_week_is_seven_days(self):
+        assert WEEK_SECONDS == 7 * DAY_SECONDS
+
+    def test_weeks_scales(self):
+        assert weeks(2) == 2 * WEEK_SECONDS
+        assert weeks(0.5) == 0.5 * WEEK_SECONDS
+
+    def test_months_are_thirty_days(self):
+        assert months(1) == 30 * DAY_SECONDS
+
+
+class TestWeekIndex:
+    def test_zero_at_origin(self):
+        assert week_index(0.0) == 0
+
+    def test_boundary_is_exclusive(self):
+        assert week_index(WEEK_SECONDS - 1e-6) == 0
+        assert week_index(WEEK_SECONDS) == 1
+
+    def test_origin_shift(self):
+        assert week_index(WEEK_SECONDS + 100.0, origin=WEEK_SECONDS) == 0
+
+    def test_before_origin_rejected(self):
+        with pytest.raises(ValueError, match="precedes"):
+            week_index(5.0, origin=10.0)
+
+
+class TestDayIndex:
+    def test_basic(self):
+        assert day_index(0.0) == 0
+        assert day_index(DAY_SECONDS * 3 + 1) == 3
+
+    def test_before_origin_rejected(self):
+        with pytest.raises(ValueError):
+            day_index(-1.0)
+
+
+class TestWeekSpan:
+    def test_covers_exactly_one_week(self):
+        start, end = week_span(3)
+        assert end - start == WEEK_SECONDS
+        assert start == 3 * WEEK_SECONDS
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            week_span(-1)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_span_contains_its_own_index(self, week):
+        start, end = week_span(week)
+        assert week_index(start) == week
+        assert week_index(end - 1.0) == week
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e10, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    )
+    def test_week_index_monotone(self, t, delta):
+        assert week_index(t + delta) >= week_index(t)
