@@ -34,5 +34,24 @@ def show():
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Time one end-to-end run of an experiment driver."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Time one end-to-end run of an experiment driver.
+
+    The run executes under a fresh :class:`repro.observe.MetricsRegistry`,
+    and its snapshot — per-stage spans (preprocess, per-learner training,
+    revision, predictor matching) plus throughput counters — is attached
+    to the benchmark's ``extra_info``, so ``--benchmark-json`` artifacts
+    carry the per-stage breakdown alongside the wall-clock total.
+    """
+    from repro.observe import MetricsRegistry, use_registry
+
+    registry = MetricsRegistry()
+
+    def instrumented(*a, **k):
+        with use_registry(registry):
+            return fn(*a, **k)
+
+    result = benchmark.pedantic(
+        instrumented, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    benchmark.extra_info["metrics"] = registry.snapshot()
+    return result

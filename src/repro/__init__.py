@@ -35,6 +35,7 @@ Quickstart::
     print(result.overall.precision, result.overall.recall)
 """
 
+from repro import observe
 from repro.alerts import FailureWarning
 from repro.core import (
     DynamicMetaLearningFramework,
@@ -56,6 +57,7 @@ from repro.learners import (
     StatisticalRuleLearner,
     register_learner,
 )
+from repro.observe import MetricsRegistry
 from repro.preprocess import PreprocessingPipeline
 from repro.raslog import (
     ANL_PROFILE,
@@ -87,6 +89,7 @@ __all__ = [
     "GeneratorConfig",
     "KnowledgeRepository",
     "MetaLearner",
+    "MetricsRegistry",
     "Predictor",
     "PreprocessingPipeline",
     "RASEvent",
@@ -102,6 +105,7 @@ __all__ = [
     "generate_log",
     "get_profile",
     "load_log",
+    "observe",
     "register_learner",
     "static_initial",
 ]

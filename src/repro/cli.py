@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands cover the operational lifecycle::
+Seven subcommands cover the operational lifecycle::
 
     repro generate    # synthesize a Blue Gene/L trace (LogHub format)
     repro preprocess  # categorize + filter a raw log
     repro train       # mine + revise rules, write them as JSON
     repro predict     # replay a log against a rule file
     repro run         # full dynamic train-and-predict loop
+    repro metrics     # stream a log and emit per-stage metrics as JSON
     repro experiment  # regenerate a paper table/figure
 
 All commands exchange logs in the LogHub BGL line format and rules in the
@@ -20,6 +21,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import observe
 from repro.core.framework import DynamicMetaLearningFramework, FrameworkConfig
 from repro.core.knowledge import RuleRecord
 from repro.core.meta import MetaLearner
@@ -27,8 +29,10 @@ from repro.core.predictor import Predictor
 from repro.core.reviser import Reviser
 from repro.core.serialization import dump_repository, load_repository
 from repro.core.windows import dynamic_months, static_initial
+from repro.core.online import OnlinePredictionSession
 from repro.evaluation.matching import extract_failures, match_warnings
 from repro.evaluation.timeline import rolling_metrics
+from repro.parallel.executor import make_executor
 from repro.preprocess.pipeline import PreprocessingPipeline
 from repro.raslog.catalog import default_catalog
 from repro.raslog.generator import GeneratorConfig, generate_log
@@ -141,8 +145,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         initial_train_weeks=args.initial_weeks,
         use_reviser=not args.no_reviser,
     )
-    framework = DynamicMetaLearningFramework(config)
-    result = framework.run(log)
+    with DynamicMetaLearningFramework(
+        config,
+        executor=make_executor(args.executor, args.workers),
+        own_executor=True,
+    ) as framework:
+        result = framework.run(log)
     print(
         f"{'static' if args.static else 'dynamic'} run over weeks "
         f"{result.start_week}-{result.end_week}: "
@@ -163,6 +171,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
             failures=wm.n_fatal,
         )
     print(table.render())
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Stream a log through the online session and dump the registry.
+
+    Everything — preprocessing, per-learner training, revision, predictor
+    matching, retrain rounds — records into one fresh
+    :class:`~repro.observe.MetricsRegistry`, which is then written as JSON
+    (the same per-stage breakdown the benchmark harness attaches to its
+    output files).
+    """
+    import json
+
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        log = _prepare_log(args.input)
+        config = FrameworkConfig(
+            prediction_window=args.window,
+            retrain_weeks=args.retrain_weeks,
+            policy=dynamic_months(args.train_months),
+            initial_train_weeks=args.initial_weeks,
+        )
+        with OnlinePredictionSession(
+            config,
+            executor=make_executor(args.executor, args.workers),
+            origin=log.origin,
+            own_executor=True,
+        ) as session:
+            for event in log:
+                session.ingest(event)
+            summary = session.summary()
+    text = registry.to_json(indent=args.indent)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {len(registry)} metrics to {args.output}")
+    else:
+        print(text)
+    print(
+        f"streamed {summary.n_events} events: {summary.n_warnings} warnings, "
+        f"{len(summary.retrains)} retrainings, "
+        f"precision={summary.precision:.3f} recall={summary.recall:.3f}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -244,7 +297,28 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--initial-weeks", type=int, default=26)
     r.add_argument("--static", action="store_true")
     r.add_argument("--no-reviser", action="store_true")
+    r.add_argument(
+        "--executor", default="serial", choices=("serial", "thread", "process")
+    )
+    r.add_argument("--workers", type=int, default=None)
     r.set_defaults(func=_cmd_run)
+
+    m = sub.add_parser(
+        "metrics",
+        help="stream a log online and emit per-stage timing/counts as JSON",
+    )
+    m.add_argument("input")
+    m.add_argument("--window", type=float, default=300.0)
+    m.add_argument("--retrain-weeks", type=int, default=4)
+    m.add_argument("--train-months", type=int, default=6)
+    m.add_argument("--initial-weeks", type=int, default=26)
+    m.add_argument(
+        "--executor", default="serial", choices=("serial", "thread", "process")
+    )
+    m.add_argument("--workers", type=int, default=None)
+    m.add_argument("--indent", type=int, default=2)
+    m.add_argument("--output", default=None)
+    m.set_defaults(func=_cmd_metrics)
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")
     e.add_argument("name", help="driver name, e.g. table4 or q3_window")

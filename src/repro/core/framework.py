@@ -11,9 +11,9 @@ whenever a rule matches within the prediction window ``Wp``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 
+from repro import observe
 from repro.core.knowledge import KnowledgeRepository
 from repro.core.meta import MetaLearner
 from repro.core.predictor import ENSEMBLE_POLICIES, FailureWarning, Predictor
@@ -67,6 +67,14 @@ class FrameworkConfig:
             raise ValueError(f"ensemble must be one of {ENSEMBLE_POLICIES}")
         if not self.learners:
             raise ValueError("need at least one learner")
+        if self.tick is not None and self.tick <= 0:
+            raise ValueError(f"tick must be positive or None, got {self.tick}")
+        if not 0.0 <= self.min_roc <= 1.0:
+            raise ValueError(f"min_roc must lie in [0, 1], got {self.min_roc}")
+        if self.dist_horizon_cap <= 0:
+            raise ValueError(
+                f"dist_horizon_cap must be positive, got {self.dist_horizon_cap}"
+            )
 
     def with_(self, **changes) -> "FrameworkConfig":
         """Functional update helper for experiment sweeps."""
@@ -84,6 +92,8 @@ class RetrainEvent:
     churn: ChurnRecord
     generation_seconds: float
     revise_seconds: float
+    #: per-learner training seconds (measured on the executor's workers)
+    learner_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -117,9 +127,12 @@ class DynamicMetaLearningFramework:
         config: FrameworkConfig | None = None,
         catalog: EventCatalog | None = None,
         executor: Executor | None = None,
+        own_executor: bool = False,
     ) -> None:
         self.config = config or FrameworkConfig()
         self.catalog = catalog or default_catalog()
+        self._executor = executor
+        self._own_executor = own_executor and executor is not None
         self.meta = MetaLearner(
             learners=self.config.learners,
             catalog=self.catalog,
@@ -142,6 +155,21 @@ class DynamicMetaLearningFramework:
         """The currently active prediction window ``Wp``."""
         return self._window
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor if this framework owns it (idempotent)."""
+        if self._own_executor:
+            self._own_executor = False
+            assert self._executor is not None
+            self._executor.close()
+
+    def __enter__(self) -> "DynamicMetaLearningFramework":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     # -- retraining --------------------------------------------------------
 
     def _retrain(self, log: EventLog, week: int) -> RetrainEvent:
@@ -149,23 +177,21 @@ class DynamicMetaLearningFramework:
         w0, w1 = cfg.policy.window(week)
         train_log = log.slice_weeks(w0, w1)
 
-        t0 = time.perf_counter()
         output = self.meta.train(train_log, self._window, week=week)
-        generation_seconds = time.perf_counter() - t0
         candidates = output.records()
         candidate_keys = {r.key for r in candidates}
 
-        t0 = time.perf_counter()
         if cfg.use_reviser:
             revision = self.reviser.revise(
                 candidates, train_log, self._window
             )
             kept = revision.kept
             removed_keys = revision.removed_keys
+            revise_seconds = revision.seconds
         else:
             kept = candidates
             removed_keys = set()
-        revise_seconds = time.perf_counter() - t0
+            revise_seconds = 0.0
 
         churn = diff_rule_sets(
             week, self.repository.keys(), candidate_keys, removed_keys
@@ -177,18 +203,14 @@ class DynamicMetaLearningFramework:
             n_candidates=len(candidates),
             n_kept=len(kept),
             churn=churn,
-            generation_seconds=generation_seconds,
+            generation_seconds=output.seconds,
             revise_seconds=revise_seconds,
+            learner_seconds=dict(output.learner_seconds),
         )
 
     def _rule_weights(self) -> dict:
         """Per-rule training precision (m1), the weighted policy's input."""
-        weights = {}
-        for record in self.repository.records():
-            fired = record.tp + record.fp
-            if fired:
-                weights[record.key] = record.tp / fired
-        return weights
+        return self.repository.precision_weights()
 
     def _should_retrain(self, week: int, start_week: int) -> bool:
         if week == start_week:
@@ -241,9 +263,15 @@ class DynamicMetaLearningFramework:
                     dist_horizon_cap=cfg.dist_horizon_cap,
                     rule_weights=self._rule_weights(),
                 )
-                # Anchor the fresh predictor's clock at the week boundary
-                # so replay does not reject the first event.
-                predictor.state.clock = log.origin + week * WEEK_SECONDS
+                # Re-prime the fresh predictor with the last Wp seconds of
+                # history so precursors straddling the handover can still
+                # complete a rule, and anchor its clock at the week
+                # boundary so replay does not reject the first event.
+                boundary = log.origin + week * WEEK_SECONDS
+                predictor.prime(
+                    log.between(boundary - self._window, boundary),
+                    now=boundary,
+                )
             warnings.extend(predictor.replay(log.week(week), tick=cfg.tick))
 
         weekly, overall = self._evaluate(log, warnings, start, end)

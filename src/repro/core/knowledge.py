@@ -76,6 +76,16 @@ class KnowledgeRepository:
     def by_learner(self, learner: str) -> list[RuleRecord]:
         return [r for r in self.records() if r.learner == learner]
 
+    def precision_weights(self) -> dict[RuleKey, float]:
+        """Per-rule training precision (Algorithm 1's m1) for rules that
+        fired during revision — the ``weighted`` ensemble's input."""
+        weights: dict[RuleKey, float] = {}
+        for record in self._records.values():
+            fired = record.tp + record.fp
+            if fired:
+                weights[record.key] = record.tp / fired
+        return weights
+
     def replace_all(self, records: Iterable[RuleRecord]) -> None:
         self._records.clear()
         for record in records:

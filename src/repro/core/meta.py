@@ -16,9 +16,11 @@ generation can run in parallel while the machine operates.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.core.knowledge import RuleRecord
 from repro.learners.base import BaseLearner
 from repro.learners.registry import DEFAULT_LEARNERS, create_learner
@@ -34,6 +36,11 @@ class TrainingOutput:
 
     week: int
     rules_by_learner: dict[str, list[Rule]] = field(default_factory=dict)
+    #: wall-clock seconds of the whole round (all learners + combination)
+    seconds: float = 0.0
+    #: wall-clock training seconds per base learner (measured in the
+    #: worker, so the numbers are meaningful under process pools too)
+    learner_seconds: dict[str, float] = field(default_factory=dict)
 
     def records(self) -> list[RuleRecord]:
         out: list[RuleRecord] = []
@@ -54,14 +61,20 @@ class TrainingOutput:
 
 
 class _TrainTask:
-    """Picklable (learner, log, window) -> rules closure for executors."""
+    """Picklable (learner, log, window) -> (rules, seconds) closure.
+
+    Timing happens inside the call so that it is measured on the worker
+    (thread or process) that actually ran the learner.
+    """
 
     def __init__(self, log: EventLog, window: float) -> None:
         self.log = log
         self.window = window
 
-    def __call__(self, learner: BaseLearner) -> list[Rule]:
-        return learner.train(self.log, self.window)
+    def __call__(self, learner: BaseLearner) -> tuple[list[Rule], float]:
+        t0 = time.perf_counter()
+        rules = learner.train(self.log, self.window)
+        return rules, time.perf_counter() - t0
 
 
 class MetaLearner:
@@ -101,8 +114,12 @@ class MetaLearner:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         task = _TrainTask(log, window)
-        results = self.executor.map(task, self.learners)
-        output = TrainingOutput(week=week)
-        for learner, rules in zip(self.learners, results):
-            output.rules_by_learner[learner.name] = list(rules)
+        with observe.span("meta.train") as sp:
+            results = self.executor.map(task, self.learners)
+            output = TrainingOutput(week=week)
+            for learner, (rules, seconds) in zip(self.learners, results):
+                output.rules_by_learner[learner.name] = list(rules)
+                output.learner_seconds[learner.name] = seconds
+                observe.histogram(f"meta.train.{learner.name}").observe(seconds)
+        output.seconds = sp.seconds
         return output

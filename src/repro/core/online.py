@@ -14,6 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro import observe
 from repro.alerts import FailureWarning
 from repro.core.framework import FrameworkConfig, RetrainEvent
 from repro.core.knowledge import KnowledgeRepository
@@ -71,10 +74,13 @@ class OnlinePredictionSession:
         catalog: EventCatalog | None = None,
         executor: Executor | None = None,
         origin: float = 0.0,
+        own_executor: bool = False,
     ) -> None:
         self.config = config or FrameworkConfig()
         self.catalog = catalog or default_catalog()
         self.origin = float(origin)
+        self._executor = executor
+        self._own_executor = own_executor and executor is not None
         self.meta = MetaLearner(
             learners=self.config.learners,
             catalog=self.catalog,
@@ -115,6 +121,19 @@ class OnlinePredictionSession:
         """Everything ingested so far, as an EventLog."""
         return EventLog(self._events, origin=self.origin, _presorted=True)
 
+    def close(self) -> None:
+        """Release the executor if this session owns it (idempotent)."""
+        if self._own_executor:
+            self._own_executor = False
+            assert self._executor is not None
+            self._executor.close()
+
+    def __enter__(self) -> "OnlinePredictionSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     def _boundary_time(self, week: int) -> float:
         return self.origin + week * WEEK_SECONDS
 
@@ -122,52 +141,62 @@ class OnlinePredictionSession:
 
     def _retrain(self, week: int) -> None:
         cfg = self.config
+        history = self.history()
         w0, w1 = cfg.policy.window(week)
-        train_log = self.history().slice_weeks(w0, w1)
+        train_log = history.slice_weeks(w0, w1)
 
-        import time
-
-        t0 = time.perf_counter()
-        output = self.meta.train(train_log, cfg.prediction_window, week=week)
-        generation_seconds = time.perf_counter() - t0
-        candidates = output.records()
-        candidate_keys = {r.key for r in candidates}
-
-        t0 = time.perf_counter()
-        if cfg.use_reviser:
-            revision = self.reviser.revise(
-                candidates, train_log, cfg.prediction_window
+        with observe.span("online.retrain"):
+            output = self.meta.train(
+                train_log, cfg.prediction_window, week=week
             )
-            kept, removed_keys = revision.kept, revision.removed_keys
-        else:
-            kept, removed_keys = candidates, set()
-        revise_seconds = time.perf_counter() - t0
+            candidates = output.records()
+            candidate_keys = {r.key for r in candidates}
 
-        churn_record = diff_rule_sets(
-            week, self.repository.keys(), candidate_keys, removed_keys
-        )
-        self.repository.replace_all(kept)
-        self.churn.append(churn_record)
-        self.retrains.append(
-            RetrainEvent(
-                week=week,
-                train_span=(w0, w1),
-                n_candidates=len(candidates),
-                n_kept=len(kept),
-                churn=churn_record,
-                generation_seconds=generation_seconds,
-                revise_seconds=revise_seconds,
+            if cfg.use_reviser:
+                revision = self.reviser.revise(
+                    candidates, train_log, cfg.prediction_window
+                )
+                kept, removed_keys = revision.kept, revision.removed_keys
+                revise_seconds = revision.seconds
+            else:
+                kept, removed_keys = candidates, set()
+                revise_seconds = 0.0
+
+            churn_record = diff_rule_sets(
+                week, self.repository.keys(), candidate_keys, removed_keys
             )
-        )
+            self.repository.replace_all(kept)
+            self.churn.append(churn_record)
+            self.retrains.append(
+                RetrainEvent(
+                    week=week,
+                    train_span=(w0, w1),
+                    n_candidates=len(candidates),
+                    n_kept=len(kept),
+                    churn=churn_record,
+                    generation_seconds=output.seconds,
+                    revise_seconds=revise_seconds,
+                    learner_seconds=dict(output.learner_seconds),
+                )
+            )
 
-        self._predictor = Predictor(
-            self.repository.rules(),
-            window=cfg.prediction_window,
-            catalog=self.catalog,
-            ensemble=cfg.ensemble,
-            dist_horizon_cap=cfg.dist_horizon_cap,
-        )
-        self._predictor.state.clock = self._boundary_time(week)
+            self._predictor = Predictor(
+                self.repository.rules(),
+                window=cfg.prediction_window,
+                catalog=self.catalog,
+                ensemble=cfg.ensemble,
+                dist_horizon_cap=cfg.dist_horizon_cap,
+                rule_weights=self.repository.precision_weights(),
+            )
+            # Re-prime the fresh predictor with the last Wp seconds of the
+            # stream: the rule set changed but the system's recent past did
+            # not, so precursors that arrived just before the boundary must
+            # still be able to complete a rule (batch/stream equivalence).
+            boundary = self._boundary_time(week)
+            self._predictor.prime(
+                history.between(boundary - cfg.prediction_window, boundary),
+                now=boundary,
+            )
 
     def _schedule_after(self, week: int) -> None:
         if self.config.policy.retrains:
@@ -203,6 +232,7 @@ class OnlinePredictionSession:
         self._cross_boundaries(event.timestamp)
         self._last_time = event.timestamp
         self._events.append(event)
+        observe.counter("online.events").inc()
         code = event.entry_data
         if code in self.catalog and self.catalog.is_fatal_code(code):
             self._fatal_times.append(event.timestamp)
@@ -210,7 +240,8 @@ class OnlinePredictionSession:
 
         if self._predictor is None:
             return []
-        new = self._predictor.feed(event, tick=self.config.tick)
+        with observe.timer("online.ingest"):
+            new = self._predictor.feed(event, tick=self.config.tick)
         self.warnings.extend(new)
         return new
 
@@ -232,8 +263,6 @@ class OnlinePredictionSession:
         Failures that occurred before predictions started (during the
         initial training period) do not count toward recall.
         """
-        import numpy as np
-
         prediction_start = self._boundary_time(self.config.initial_train_weeks)
         times: list[float] = []
         codes: list[str] = []

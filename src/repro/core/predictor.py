@@ -28,10 +28,12 @@ time since the last failure is large enough".
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.alerts import FailureWarning
 from repro.learners.rules import (
     ANY_FAILURE,
@@ -142,7 +144,21 @@ class Predictor:
 
         self.state = PredictorState()
 
+        # Instrument handles are cached per registry so the per-event
+        # hot path pays one identity check, not a registry lookup.
+        self._obs_registry = None
+        self._feed_histogram = None
+        self._warning_counter = None
+
     # -- internals ----------------------------------------------------------
+
+    def _instruments(self):
+        registry = observe.get_registry()
+        if self._obs_registry is not registry:
+            self._obs_registry = registry
+            self._feed_histogram = registry.histogram("predictor.feed")
+            self._warning_counter = registry.counter("predictor.warnings")
+        return self._feed_histogram, self._warning_counter
 
     def _prune(self, now: float) -> None:
         horizon = now - self.window
@@ -255,6 +271,47 @@ class Predictor:
 
     # -- public API -------------------------------------------------------------
 
+    def prime(
+        self, events: Iterable[RASEvent], now: float | None = None
+    ) -> None:
+        """Seed the sliding window from history without emitting warnings.
+
+        A freshly constructed predictor that takes over mid-stream (after
+        a retraining swaps the rule set) starts with an empty monitoring
+        set, so precursors that arrived just before the handover could no
+        longer complete a rule.  Priming replays the last ``window``
+        seconds of already-observed events into the predictor's state —
+        monitoring set, recent-fatal burst window, and the elapsed-time
+        expert's anchor — exactly as :meth:`observe` would have built it,
+        but silently: those events already had their chance to fire under
+        the previous rule set.
+
+        ``now`` optionally advances the clock to the handover instant
+        afterwards (events beyond it are rejected, like :meth:`observe`).
+        """
+        state = self.state
+        for event in events:
+            t = event.timestamp
+            if t < state.clock:
+                raise ValueError(
+                    f"priming events must arrive in time order: "
+                    f"{t} < {state.clock}"
+                )
+            state.clock = t
+            code = event.entry_data
+            if code in self.catalog and self.catalog.is_fatal_code(code):
+                state.recent_fatals.append(t)
+                state.last_fatal_time = t
+                state.dist_next_allowed = t
+            state.monitoring.append((t, code))
+        if now is not None:
+            if now < state.clock:
+                raise ValueError(
+                    f"clock moved backwards: {now} < {state.clock}"
+                )
+            state.clock = now
+        self._prune(state.clock)
+
     def advance(self, now: float) -> list[FailureWarning]:
         """Move the clock forward without an event (periodic timer check)."""
         if now < self.state.clock:
@@ -334,20 +391,36 @@ class Predictor:
         """
         if tick is not None and tick <= 0:
             raise ValueError(f"tick must be positive, got {tick}")
+        t0 = time.perf_counter()
         warnings: list[FailureWarning] = []
         if tick is not None:
             warnings.extend(self.catch_up(event.timestamp, tick))
         warnings.extend(self.observe(event))
+        feed_histogram, warning_counter = self._instruments()
+        feed_histogram.observe(time.perf_counter() - t0)
+        if warnings:
+            warning_counter.inc(len(warnings))
         return warnings
 
     def catch_up(self, until: float, tick: float) -> list[FailureWarning]:
         """Emit all timer firings strictly before ``until``."""
         warnings: list[FailureWarning] = []
+        checked: float | None = None
         while True:
             t = self._next_timer_fire(tick)
-            if t is None or t >= until:
+            if t is None:
+                break
+            # The timer never re-examines an instant: if the previous
+            # check fired nothing (e.g. the fitted quantile lost to
+            # rounding in ``_next_timer_fire``), the next opportunity is
+            # one tick later — otherwise a degenerate fit whose quantile
+            # sits within one ulp of the grid can loop forever.
+            if checked is not None and t <= checked:
+                t = checked + tick
+            if t >= until:
                 break
             warnings.extend(self.advance(t))
+            checked = t
         return warnings
 
     def replay(

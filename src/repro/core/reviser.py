@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observe
 from repro.core.knowledge import RuleRecord
 from repro.core.predictor import Predictor
 from repro.evaluation.matching import RuleScore, extract_failures, score_rules
@@ -35,6 +36,8 @@ class RevisionResult:
     kept: list[RuleRecord] = field(default_factory=list)
     removed: list[RuleRecord] = field(default_factory=list)
     scores: dict[RuleKey, RuleScore] = field(default_factory=dict)
+    #: wall-clock seconds of the revision round
+    seconds: float = 0.0
 
     @property
     def removed_keys(self) -> set[RuleKey]:
@@ -86,13 +89,17 @@ class Reviser:
         """Apply Algorithm 1 to the candidate records."""
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
-        scores = self.score(records, training_log, window)
-        result = RevisionResult(scores=scores)
-        for record in records:
-            s = scores[record.key]
-            scored = record.with_scores(tp=s.tp, fp=s.fp, fn=s.fn, roc=s.roc)
-            if s.roc > self.min_roc:
-                result.kept.append(scored)
-            else:
-                result.removed.append(scored)
+        with observe.span("reviser.revise") as sp:
+            scores = self.score(records, training_log, window)
+            result = RevisionResult(scores=scores)
+            for record in records:
+                s = scores[record.key]
+                scored = record.with_scores(tp=s.tp, fp=s.fp, fn=s.fn, roc=s.roc)
+                if s.roc > self.min_roc:
+                    result.kept.append(scored)
+                else:
+                    result.removed.append(scored)
+        result.seconds = sp.seconds
+        observe.counter("reviser.kept").inc(len(result.kept))
+        observe.counter("reviser.removed").inc(len(result.removed))
         return result

@@ -1,0 +1,161 @@
+"""Instrument types: counters, gauges and streaming histograms.
+
+Each instrument is thread-safe (the executors may train learners on
+worker threads) and snapshots to a plain-JSON dict.  The histogram keeps
+exact count/sum/min/max plus a fixed-size uniform reservoir (Vitter's
+Algorithm R) so p50/p95/p99 stay O(1) memory over unbounded streams.
+The reservoir RNG is seeded from the instrument name, keeping snapshots
+reproducible run-to-run for deterministic workloads.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+
+DEFAULT_RESERVOIR_SIZE = 1024
+
+
+class Counter:
+    """Monotonically increasing count of occurrences."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-written value of a quantity that can go up and down."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Streaming distribution summary with reservoir-sampled quantiles."""
+
+    __slots__ = (
+        "name", "_count", "_sum", "_min", "_max",
+        "_reservoir", "_capacity", "_rng", "_lock",
+    )
+
+    def __init__(
+        self, name: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE
+    ) -> None:
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}"
+            )
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._reservoir: list[float] = []
+        self._capacity = reservoir_size
+        # hash() is salted per-process; crc32 keeps the seed stable.
+        self._rng = random.Random(zlib.crc32(name.encode()))
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._reservoir) < self._capacity:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self._capacity:
+                    self._reservoir[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) from the reservoir."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        with self._lock:
+            sample = sorted(self._reservoir)
+        if not sample:
+            return 0.0
+        # Nearest-rank on the sampled values.
+        index = min(len(sample) - 1, int(q * len(sample)))
+        return sample[index]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            count, total = self._count, self._sum
+            sample = sorted(self._reservoir)
+        if not count:
+            return {"type": "histogram", "count": 0}
+
+        def q(frac: float) -> float:
+            return sample[min(len(sample) - 1, int(frac * len(sample)))]
+
+        out = {
+            "type": "histogram",
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": self._min,
+            "max": self._max,
+            "p50": q(0.50),
+            "p95": q(0.95),
+            "p99": q(0.99),
+        }
+        if total > 0:
+            # For duration histograms: observations per second of
+            # measured time, i.e. sustained throughput of the stage.
+            out["per_second"] = count / total
+        return out

@@ -1,0 +1,159 @@
+"""Metric registry, span timing, and the swappable process default.
+
+A :class:`MetricsRegistry` is a namespace of instruments created on
+first use (``registry.counter("online.events")``).  Durations are
+recorded with :meth:`MetricsRegistry.span` — a re-usable context manager
+that feeds a histogram of the same name and exposes ``.seconds`` for
+callers that also need the value (e.g. to fill ``RetrainEvent`` fields).
+
+Instrumented library code records through :func:`get_registry`, the
+current process-wide default; entry points that want an isolated view
+(the ``repro metrics`` subcommand, the benchmark harness) install a
+fresh registry with :func:`use_registry` around the measured work.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.observe.metrics import Counter, Gauge, Histogram
+
+
+class Span:
+    """Times one ``with`` block and records it into a histogram."""
+
+    __slots__ = ("name", "seconds", "_histogram", "_start")
+
+    def __init__(self, name: str, histogram: Histogram) -> None:
+        self.name = name
+        self._histogram = histogram
+        self._start: float | None = None
+        #: duration of the most recent completed block, seconds
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None, "span exited without entering"
+        self.seconds = time.perf_counter() - self._start
+        self._start = None
+        self._histogram.observe(self.seconds)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls):
+        if not name:
+            raise ValueError("instrument name must be non-empty")
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def span(self, name: str) -> Span:
+        """Context manager timing a block into histogram ``name``."""
+        return Span(name, self.histogram(name))
+
+    #: ``timer`` reads better at call sites that ignore ``.seconds``.
+    timer = span
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._instruments
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as a JSON-ready ``{name: summary}`` mapping."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in instruments}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh, empty namespace)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+_default_registry = MetricsRegistry()
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented library code currently records into."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process default; returns the old one."""
+    global _default_registry
+    with _registry_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the default registry to a ``with`` block (re-entrant)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def counter(name: str) -> Counter:
+    return get_registry().counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return get_registry().gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return get_registry().histogram(name)
+
+
+def span(name: str) -> Span:
+    return get_registry().span(name)
+
+
+def timer(name: str) -> Span:
+    return get_registry().timer(name)

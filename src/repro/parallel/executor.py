@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import abc
 import os
+import weakref
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, TypeVar
@@ -57,20 +58,43 @@ class SerialExecutor(Executor):
         return [fn(t) for t in tasks]
 
 
-class ThreadExecutor(Executor):
-    """Thread-pool backend."""
+class _PooledExecutor(Executor):
+    """Shared lifecycle for the ``concurrent.futures``-backed executors.
 
-    def __init__(self, max_workers: int | None = None) -> None:
-        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+    Pools are leaked when callers skip the context manager, so every
+    pooled executor registers a :func:`weakref.finalize` safety net: if
+    the executor is garbage-collected (or the interpreter exits) without
+    :meth:`close` having been called, the pool is still shut down.  An
+    explicit :meth:`close` detaches the finalizer and waits for running
+    work; calling it again is a no-op.
+    """
+
+    def __init__(self, pool: ThreadPoolExecutor | ProcessPoolExecutor) -> None:
+        self._pool = pool
+        self._finalizer = weakref.finalize(self, pool.shutdown, wait=False)
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        if self.closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
         return list(self._pool.map(fn, tasks))
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        if self._finalizer.detach() is not None:
+            self._pool.shutdown(wait=True)
 
 
-class ProcessExecutor(Executor):
+class ThreadExecutor(_PooledExecutor):
+    """Thread-pool backend."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__(ThreadPoolExecutor(max_workers=max_workers))
+
+
+class ProcessExecutor(_PooledExecutor):
     """Process-pool backend for CPU-bound mining.
 
     ``starmap`` here uses a picklable splat wrapper rather than the
@@ -80,18 +104,14 @@ class ProcessExecutor(Executor):
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is None:
             max_workers = max(1, (os.cpu_count() or 2) - 1)
-        self._pool = ProcessPoolExecutor(max_workers=max_workers)
-
-    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
-        return list(self._pool.map(fn, tasks))
+        super().__init__(ProcessPoolExecutor(max_workers=max_workers))
 
     def starmap(
         self, fn: Callable[..., R], task_args: Sequence[tuple]
     ) -> list[R]:
+        if self.closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
         return list(self._pool.map(_Splat(fn), task_args))
-
-    def close(self) -> None:
-        self._pool.shutdown(wait=True)
 
 
 class _Splat:

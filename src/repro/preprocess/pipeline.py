@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import observe
 from repro.preprocess.categorizer import CategorizationReport, Categorizer
 from repro.preprocess.filtering import FilterStats, compress, deduplicate_exact
 from repro.raslog.catalog import EventCatalog
@@ -57,12 +58,16 @@ class PreprocessingPipeline:
         return self.categorizer.catalog
 
     def run(self, raw: EventLog) -> PreprocessResult:
-        report = CategorizationReport()
-        categorized = self.categorizer.categorize(raw, report)
-        if self.drop_exact_duplicates:
-            categorized = deduplicate_exact(categorized)
-        clean, _ = compress(categorized, self.threshold)
-        stats = FilterStats.from_logs(self.threshold, raw, clean)
+        with observe.span("preprocess.run"):
+            report = CategorizationReport()
+            categorized = self.categorizer.categorize(raw, report)
+            if self.drop_exact_duplicates:
+                categorized = deduplicate_exact(categorized)
+            clean, _ = compress(categorized, self.threshold)
+            stats = FilterStats.from_logs(self.threshold, raw, clean)
+        observe.counter("preprocess.events_in").inc(len(raw))
+        observe.counter("preprocess.events_out").inc(len(clean))
+        observe.gauge("preprocess.compression_rate").set(stats.compression_rate)
         return PreprocessResult(
             clean=clean, categorization=report, filtering=stats
         )

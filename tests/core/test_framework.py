@@ -35,6 +35,28 @@ class TestConfig:
         with pytest.raises(ValueError):
             FrameworkConfig(learners=())
 
+    def test_tick_validation(self):
+        with pytest.raises(ValueError, match="tick"):
+            FrameworkConfig(tick=0.0)
+        with pytest.raises(ValueError, match="tick"):
+            FrameworkConfig(tick=-60.0)
+        # None disables the deployment timer and is legal.
+        assert FrameworkConfig(tick=None).tick is None
+
+    def test_min_roc_validation(self):
+        with pytest.raises(ValueError, match="min_roc"):
+            FrameworkConfig(min_roc=-0.1)
+        with pytest.raises(ValueError, match="min_roc"):
+            FrameworkConfig(min_roc=1.2)
+        assert FrameworkConfig(min_roc=0.0).min_roc == 0.0
+        assert FrameworkConfig(min_roc=1.0).min_roc == 1.0
+
+    def test_dist_horizon_cap_validation(self):
+        with pytest.raises(ValueError, match="dist_horizon_cap"):
+            FrameworkConfig(dist_horizon_cap=0.0)
+        with pytest.raises(ValueError, match="dist_horizon_cap"):
+            FrameworkConfig(dist_horizon_cap=-1.0)
+
     def test_with_helper(self):
         cfg = FrameworkConfig().with_(retrain_weeks=8)
         assert cfg.retrain_weeks == 8
@@ -132,6 +154,30 @@ class TestPolicies:
         fw = DynamicMetaLearningFramework(config, catalog=mid_trace.catalog)
         result = fw.run(mid_trace.clean, end_week=30)
         assert all(w.learner == "statistical" for w in result.warnings)
+
+
+class TestLifecycle:
+    def test_owned_executor_closed_on_exit(self):
+        from repro.parallel.executor import ThreadExecutor
+
+        ex = ThreadExecutor(max_workers=1)
+        with DynamicMetaLearningFramework(executor=ex, own_executor=True):
+            assert not ex.closed
+        assert ex.closed
+
+    def test_borrowed_executor_left_open(self):
+        from repro.parallel.executor import ThreadExecutor
+
+        ex = ThreadExecutor(max_workers=1)
+        with DynamicMetaLearningFramework(executor=ex):
+            pass
+        assert not ex.closed
+        ex.close()
+
+    def test_close_without_executor_is_noop(self):
+        fw = DynamicMetaLearningFramework()
+        fw.close()
+        fw.close()
 
 
 class TestDeterminism:

@@ -1,12 +1,15 @@
 """Tests for the online (streaming) prediction session."""
 
+import numpy as np
 import pytest
 
 from repro.core.framework import DynamicMetaLearningFramework, FrameworkConfig
-from repro.core.online import OnlinePredictionSession
+from repro.core.online import OnlinePredictionSession, SessionSummary
 from repro.core.windows import static_initial
+from repro.evaluation.matching import match_warnings
+from repro.parallel.executor import ThreadExecutor
 from repro.utils.timeutil import WEEK_SECONDS
-from tests.conftest import make_event
+from tests.conftest import make_event, make_log
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +59,108 @@ class TestBatchEquivalence:
         summary = session.summary()
         assert summary.precision == pytest.approx(batch.overall.precision)
         assert summary.recall == pytest.approx(batch.overall.recall)
+
+
+PRECURSOR_A = "KERNEL-N-002"
+PRECURSOR_B = "KERNEL-N-003"
+FATAL = "KERNEL-F-000"
+
+
+def straddling_log():
+    """A stationary A → B → FATAL pattern every 3 hours, with one pattern
+    deliberately straddling the week-4 retraining boundary: A arrives 90 s
+    before the boundary, B and the failure after it."""
+    boundary = 4 * WEEK_SECONDS
+    period = 10_800.0
+    specs = []
+    t = 600.0
+    while t + 120.0 < boundary - period:
+        specs += [(t, PRECURSOR_A), (t + 60.0, PRECURSOR_B), (t + 120.0, FATAL)]
+        t += period
+    specs += [
+        (boundary - 90.0, PRECURSOR_A),
+        (boundary + 30.0, PRECURSOR_B),
+        (boundary + 90.0, FATAL),
+    ]
+    t = boundary + period
+    while t + 120.0 < 6 * WEEK_SECONDS:
+        specs += [(t, PRECURSOR_A), (t + 60.0, PRECURSOR_B), (t + 120.0, FATAL)]
+        t += period
+    return make_log(specs)
+
+
+class TestBoundaryStraddling:
+    """Regression for the post-retrain warning loss: precursors that
+    arrived just before a retraining boundary must still complete rules
+    after the fresh predictor takes over."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, catalog):
+        log = straddling_log()
+        config = FrameworkConfig(initial_train_weeks=2, retrain_weeks=2)
+        batch = DynamicMetaLearningFramework(config, catalog=catalog).run(log)
+        session = OnlinePredictionSession(config, catalog=catalog)
+        streamed = []
+        for event in log:
+            streamed.extend(session.ingest(event))
+        return batch, session, streamed
+
+    def test_stream_equals_batch_across_boundary(self, runs):
+        batch, session, streamed = runs
+        assert streamed == batch.warnings
+        assert session.warnings == batch.warnings
+
+    def test_straddling_precursor_not_lost(self, runs):
+        """The two-item rule {A, B} -> FATAL must fire just after the
+        boundary, which requires the primed pre-boundary A (the one-item
+        {B} rule would fire regardless, so check the rule key)."""
+        _, session, _ = runs
+        boundary = 4 * WEEK_SECONDS
+        key = ("assoc", FATAL, (PRECURSOR_A, PRECURSOR_B))
+        fired = [
+            w
+            for w in session.warnings
+            if w.rule_key == key and boundary < w.time <= boundary + 300.0
+        ]
+        assert fired, "straddling precursor was dropped at the retrain boundary"
+        assert fired[0].time == boundary + 30.0
+        assert fired[0].predicted == FATAL
+
+
+class TestSummaryAccounting:
+    def test_zero_denominator_precision_and_recall(self):
+        matching = match_warnings([], np.zeros(0, dtype=np.float64), [])
+        summary = SessionSummary(
+            n_events=0, n_fatal=0, n_warnings=0, matching=matching
+        )
+        assert summary.precision == 0.0
+        assert summary.recall == 0.0
+
+
+class TestExecutorOwnership:
+    def test_owned_executor_closed_on_exit(self, catalog, config):
+        ex = ThreadExecutor(max_workers=1)
+        with OnlinePredictionSession(
+            config, catalog=catalog, executor=ex, own_executor=True
+        ):
+            assert not ex.closed
+        assert ex.closed
+
+    def test_borrowed_executor_left_open(self, catalog, config):
+        ex = ThreadExecutor(max_workers=1)
+        with OnlinePredictionSession(config, catalog=catalog, executor=ex):
+            pass
+        assert not ex.closed
+        ex.close()
+
+    def test_close_is_idempotent(self, catalog, config):
+        ex = ThreadExecutor(max_workers=1)
+        session = OnlinePredictionSession(
+            config, catalog=catalog, executor=ex, own_executor=True
+        )
+        session.close()
+        session.close()
+        assert ex.closed
 
 
 class TestStreamDiscipline:

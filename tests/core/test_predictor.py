@@ -331,3 +331,78 @@ class TestFeedAndCatchUp:
         p = Predictor([], 300.0, catalog)
         with pytest.raises(ValueError, match="tick"):
             p.feed(warn_event(10.0), tick=-1.0)
+
+    def test_catch_up_progresses_past_sub_ulp_quantile(self, catalog):
+        """Regression: a fitted quantile a hair above a tick-grid multiple
+        used to loop forever.  ``_next_timer_fire`` computes
+        ``last_fatal + quantile`` — which rounds *down* to the grid point
+        at this magnitude — while ``_check_distribution`` compares
+        ``now - last_fatal >= quantile`` exactly, so the timer kept
+        proposing an instant at which nothing would ever fire."""
+        last_fatal = 2_398_320.0  # large enough that 6.5e-11 < ulp/2
+        quantile = 10_800.0 + 6.5e-11
+        p = Predictor([dist(quantile=quantile)], 300.0, catalog)
+        p.observe(fatal_event(last_fatal))
+        warnings = p.catch_up(last_fatal + 2.5 * 10_800.0, tick=60.0)
+        assert warnings
+        # The dead grid point is abandoned after one silent check; the
+        # expert fires at the next tick.
+        assert warnings[0].time == last_fatal + 10_800.0 + 60.0
+
+
+class TestPrime:
+    """Seeding a fresh predictor's window from pre-handover history."""
+
+    def test_primed_precursor_completes_rule(self, catalog):
+        """An antecedent event observed before the handover still counts:
+        {W1, W2} -> FATAL must fire when W1 was primed and W2 arrives."""
+        p = Predictor([assoc({W1, W2})], 300.0, catalog)
+        p.prime([warn_event(940.0, W1)], now=1000.0)
+        warnings = p.observe(warn_event(1060.0, W2))
+        assert [w.predicted for w in warnings] == [FATAL]
+
+    def test_unprimed_predictor_loses_the_warning(self, catalog):
+        """The bug the priming fixes: without it the straddling precursor
+        is invisible to the new predictor."""
+        p = Predictor([assoc({W1, W2})], 300.0, catalog)
+        p.state.clock = 1000.0
+        assert p.observe(warn_event(1060.0, W2)) == []
+
+    def test_prime_emits_no_warnings_and_sets_no_refractory(self, catalog):
+        """Primed events must not fire rules (they already had their
+        chance under the old rule set) nor consume the refractory."""
+        p = Predictor([assoc({W1})], 300.0, catalog)
+        p.prime([warn_event(940.0, W1)], now=1000.0)
+        # A fresh W1 after the handover fires immediately.
+        warnings = p.observe(warn_event(1010.0, W1))
+        assert len(warnings) == 1
+
+    def test_prime_seeds_fatal_state(self, catalog):
+        p = Predictor([stat(2)], 300.0, catalog)
+        p.prime([fatal_event(950.0)], now=1000.0)
+        assert p.state.last_fatal_time == 950.0
+        assert list(p.state.recent_fatals) == [950.0]
+        # The next fatal completes the k=2 burst.
+        warnings = p.observe(fatal_event(1050.0))
+        assert [w.predicted for w in warnings] == [ANY_FAILURE]
+
+    def test_prime_prunes_outside_window(self, catalog):
+        p = Predictor([assoc({W1, W2})], 300.0, catalog)
+        p.prime([warn_event(100.0, W1)], now=1000.0)
+        assert len(p.state.monitoring) == 0
+        assert p.observe(warn_event(1060.0, W2)) == []
+
+    def test_prime_rejects_out_of_order(self, catalog):
+        p = Predictor([], 300.0, catalog)
+        with pytest.raises(ValueError, match="time order"):
+            p.prime([warn_event(200.0), warn_event(100.0)])
+
+    def test_prime_rejects_backwards_now(self, catalog):
+        p = Predictor([], 300.0, catalog)
+        with pytest.raises(ValueError, match="backwards"):
+            p.prime([warn_event(200.0)], now=100.0)
+
+    def test_prime_empty_history(self, catalog):
+        p = Predictor([assoc({W1})], 300.0, catalog)
+        p.prime([], now=1000.0)
+        assert p.state.clock == 1000.0

@@ -1,0 +1,194 @@
+"""Unit tests for the metrics/tracing subsystem."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observe import (
+    MetricsRegistry,
+    counter,
+    get_registry,
+    set_registry,
+    span,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricsRegistry().counter("c")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("c").inc(-1.0)
+
+    def test_snapshot(self):
+        c = MetricsRegistry().counter("c")
+        c.inc(4)
+        assert c.snapshot() == {"type": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10.0)
+        g.add(-3.0)
+        assert g.value == 7.0
+        assert g.snapshot() == {"type": "gauge", "value": 7.0}
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 10.0
+        assert snap["mean"] == 2.5
+        assert snap["min"] == 1.0
+        assert snap["max"] == 4.0
+
+    def test_quantiles_on_small_sample(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(100):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 99.0
+        assert abs(h.quantile(0.5) - 50.0) <= 1.0
+
+    def test_reservoir_bounds_memory(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert len(h._reservoir) == h._capacity
+        # The sampled p50 must land near the true median.
+        assert 3_000 < h.quantile(0.5) < 7_000
+
+    def test_empty_snapshot(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.snapshot() == {"type": "histogram", "count": 0}
+        assert h.quantile(0.5) == 0.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            MetricsRegistry().histogram("h").quantile(1.5)
+
+    def test_per_second_throughput(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.5)
+        h.observe(0.5)
+        assert h.snapshot()["per_second"] == pytest.approx(2.0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("b") is reg.histogram("b")
+
+    def test_kind_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            reg.gauge("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MetricsRegistry().counter("")
+
+    def test_span_records_into_histogram(self):
+        reg = MetricsRegistry()
+        with reg.span("stage") as sp:
+            pass
+        assert sp.seconds >= 0.0
+        assert reg.histogram("stage").count == 1
+
+    def test_span_records_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("stage"):
+                raise RuntimeError("boom")
+        assert reg.histogram("stage").count == 1
+
+    def test_span_reusable(self):
+        reg = MetricsRegistry()
+        sp = reg.span("stage")
+        with sp:
+            pass
+        with sp:
+            pass
+        assert reg.histogram("stage").count == 2
+
+    def test_timer_is_span(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        assert reg.histogram("t").count == 1
+
+    def test_snapshot_and_json(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2.0)
+        snap = json.loads(reg.to_json())
+        assert snap["a"]["value"] == 1.0
+        assert snap["b"]["type"] == "gauge"
+
+    def test_names_len_contains_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("one")
+        reg.counter("two")
+        assert reg.names() == ["one", "two"]
+        assert "one" in reg and len(reg) == 2
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_thread_safety_smoke(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter("n").inc()
+                reg.histogram("h").observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n").value == 4000
+        assert reg.histogram("h").count == 4000
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_hit_current_registry(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            counter("hits").inc()
+            with span("work"):
+                pass
+        assert reg.counter("hits").value == 1.0
+        assert reg.histogram("work").count == 1
+        # ... and nothing leaked once the scope closed.
+        assert "hits" not in get_registry()
+
+    def test_use_registry_restores_on_exception(self):
+        before = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)

@@ -1,5 +1,7 @@
 """Unit tests for execution backends."""
 
+import gc
+
 import pytest
 
 from repro.parallel.executor import (
@@ -60,11 +62,55 @@ class TestProcess:
             assert ex.starmap(add, [(1, 2), (5, 5)]) == [3, 10]
 
 
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        ex = ThreadExecutor(max_workers=1)
+        assert not ex.closed
+        ex.close()
+        ex.close()
+        assert ex.closed
+
+    def test_map_after_close_rejected(self):
+        ex = ThreadExecutor(max_workers=1)
+        ex.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.map(square, [1])
+
+    def test_process_starmap_after_close_rejected(self):
+        ex = ProcessExecutor(max_workers=1)
+        ex.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.starmap(add, [(1, 2)])
+
+    def test_context_manager_closes(self):
+        with ThreadExecutor(max_workers=1) as ex:
+            pass
+        assert ex.closed
+
+    def test_finalizer_shuts_pool_down_on_gc(self):
+        """The safety net: dropping the last reference without close()
+        still shuts the underlying pool down."""
+        ex = ThreadExecutor(max_workers=1)
+        pool = ex._pool
+        del ex
+        gc.collect()
+        assert pool._shutdown
+
+
 class TestFactory:
-    def test_kinds(self):
+    def test_serial_kind(self):
         assert isinstance(make_executor("serial"), SerialExecutor)
+
+    def test_thread_kind(self):
         ex = make_executor("thread", max_workers=1)
         assert isinstance(ex, ThreadExecutor)
+        assert ex.map(square, [3]) == [9]
+        ex.close()
+
+    def test_process_kind(self):
+        ex = make_executor("process", max_workers=1)
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.map(square, [3]) == [9]
         ex.close()
 
     def test_unknown_kind(self):

@@ -121,6 +121,46 @@ class TestRun:
         assert "weekly accuracy" in text
 
 
+class TestMetrics:
+    def test_emits_per_stage_breakdown(self, clean_log, capsys):
+        rc = main(
+            [
+                "metrics", str(clean_log),
+                "--initial-weeks", "6", "--retrain-weeks", "4",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Per-stage spans from the observe registry.
+        assert payload["preprocess.run"]["count"] == 1
+        assert payload["meta.train"]["count"] >= 1
+        assert payload["reviser.revise"]["count"] >= 1
+        assert payload["online.retrain"]["count"] >= 1
+        assert payload["predictor.feed"]["count"] > 0
+        # Per-learner training breakdown.
+        for learner in ("association", "statistical", "distribution"):
+            assert payload[f"meta.train.{learner}"]["count"] >= 1
+        # Throughput counters.
+        assert payload["online.events"]["value"] > 0
+        assert payload["preprocess.events_in"]["value"] >= (
+            payload["preprocess.events_out"]["value"]
+        )
+
+    def test_writes_output_file(self, clean_log, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "metrics", str(clean_log),
+                "--initial-weeks", "6", "--retrain-weeks", "4",
+                "--output", str(out),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert "meta.train" in payload
+        assert "wrote" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_known_driver(self, capsys):
         rc = main(["experiment", "table3"])
