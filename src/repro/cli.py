@@ -36,7 +36,7 @@ from repro.parallel.executor import make_executor
 from repro.preprocess.pipeline import PreprocessingPipeline
 from repro.raslog.catalog import default_catalog
 from repro.raslog.generator import GeneratorConfig, generate_log
-from repro.raslog.parser import ParseReport, dump_log, load_log
+from repro.raslog.parser import ParseError, ParseReport, dump_log, load_log
 from repro.raslog.profiles import PROFILES, get_profile
 from repro.utils.tables import TableResult
 
@@ -77,14 +77,34 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     return 0
 
 
-def _prepare_log(path: str):
-    log = load_log(path)
+def _prepare_log(path: str, strict: bool = False):
+    """Load + preprocess a log; returns ``(log, parse_report)``.
+
+    In strict mode the first malformed line raises :class:`ParseError`
+    (mapped to exit code 2 in :func:`main`); otherwise malformed lines
+    are skipped and counted in the report.
+    """
+    report = ParseReport()
+    log = load_log(path, strict=strict, report=report)
     pipeline = PreprocessingPipeline()
-    return pipeline.run(log).clean.with_origin(log.origin)
+    return pipeline.run(log).clean.with_origin(log.origin), report
+
+
+def _print_parse_report(report: ParseReport) -> None:
+    """Surface skipped-line counts (and the first few reasons) on stderr."""
+    if not report.skipped:
+        return
+    print(
+        f"parse: skipped {report.skipped} malformed line(s), "
+        f"kept {report.parsed}",
+        file=sys.stderr,
+    )
+    for err in report.errors[:3]:
+        print(f"  line {err.line_no}: {err.reason}", file=sys.stderr)
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    log = _prepare_log(args.input)
+    log, _ = _prepare_log(args.input)
     catalog = default_catalog()
     meta = MetaLearner(catalog=catalog)
     output = meta.train(log, args.window)
@@ -108,7 +128,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    log = _prepare_log(args.input)
+    log, _ = _prepare_log(args.input)
     repo = load_repository(args.rules)
     catalog = default_catalog()
     predictor = Predictor(repo.rules(), window=args.window, catalog=catalog)
@@ -131,8 +151,49 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_streaming(args: argparse.Namespace, config: FrameworkConfig) -> int:
+    """`repro run` with checkpointing: stream through an online session."""
+    log, report = _prepare_log(args.input, strict=args.strict)
+    _print_parse_report(report)
+    executor = make_executor(args.executor, args.workers)
+    if args.resume:
+        session = OnlinePredictionSession.resume(
+            args.resume, config, executor=executor, own_executor=True
+        )
+        skip = session.n_ingested
+        print(
+            f"resumed from {args.resume}: {skip} events already ingested, "
+            f"clock at {session.current_week} weeks",
+            file=sys.stderr,
+        )
+    else:
+        session = OnlinePredictionSession(
+            config, executor=executor, origin=log.origin, own_executor=True
+        )
+        skip = 0
+    every = args.checkpoint_every
+    with session:
+        for i, event in enumerate(log):
+            if i < skip:
+                continue
+            session.ingest(event)
+            if args.checkpoint and every and (i + 1 - skip) % every == 0:
+                session.checkpoint(args.checkpoint)
+        session.flush()
+        if args.checkpoint:
+            session.checkpoint(args.checkpoint)
+        summary = session.summary()
+    print(
+        f"streamed {summary.n_events} events: "
+        f"precision={summary.precision:.3f} recall={summary.recall:.3f} "
+        f"({summary.n_warnings} warnings, {len(summary.retrains)} retrainings, "
+        f"{len(summary.retrain_failures)} retrain failures, "
+        f"{summary.n_quarantined} quarantined)"
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    log = _prepare_log(args.input)
     policy = (
         static_initial(args.train_months)
         if args.static
@@ -144,7 +205,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         policy=policy,
         initial_train_weeks=args.initial_weeks,
         use_reviser=not args.no_reviser,
+        on_retrain_error=args.on_retrain_error,
     )
+    if args.checkpoint or args.resume:
+        return _run_streaming(args, config)
+    log, report = _prepare_log(args.input, strict=args.strict)
+    _print_parse_report(report)
     with DynamicMetaLearningFramework(
         config,
         executor=make_executor(args.executor, args.workers),
@@ -158,6 +224,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"recall={result.overall.recall:.3f} "
         f"({len(result.warnings)} warnings, {len(result.retrains)} retrainings)"
     )
+    if result.retrain_failures:
+        print(
+            f"degraded mode absorbed {len(result.retrain_failures)} "
+            f"retraining failure(s) "
+            f"(weeks {sorted({f.week for f in result.retrain_failures})})",
+            file=sys.stderr,
+        )
     table = TableResult(
         title="weekly accuracy (4-week smoothed)",
         columns=["week", "precision", "recall", "warnings", "failures"],
@@ -187,7 +260,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     registry = observe.MetricsRegistry()
     with observe.use_registry(registry):
-        log = _prepare_log(args.input)
+        log, report = _prepare_log(args.input, strict=args.strict)
+        _print_parse_report(report)
         config = FrameworkConfig(
             prediction_window=args.window,
             retrain_weeks=args.retrain_weeks,
@@ -301,6 +375,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", default="serial", choices=("serial", "thread", "process")
     )
     r.add_argument("--workers", type=int, default=None)
+    r.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 2) on the first malformed log line",
+    )
+    r.add_argument(
+        "--on-retrain-error",
+        default="raise",
+        choices=("raise", "degrade"),
+        help="degrade: absorb retraining crashes and keep predicting "
+        "with the previous rules (default: raise)",
+    )
+    r.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="stream through an online session and checkpoint to PATH",
+    )
+    r.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also checkpoint after every N ingested events",
+    )
+    r.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume a previously checkpointed session and continue the log",
+    )
     r.set_defaults(func=_cmd_run)
 
     m = sub.add_parser(
@@ -318,6 +423,11 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--workers", type=int, default=None)
     m.add_argument("--indent", type=int, default=2)
     m.add_argument("--output", default=None)
+    m.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 2) on the first malformed log line",
+    )
     m.set_defaults(func=_cmd_metrics)
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -332,7 +442,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if getattr(args, "checkpoint_every", 0) and not args.checkpoint:
+        parser.error("--checkpoint-every requires --checkpoint")
+    try:
+        return args.func(args)
+    except ParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -25,6 +25,7 @@ from repro.evaluation.metrics import PrecisionRecall
 from repro.evaluation.timeline import WeeklyMetrics
 from repro.learners.registry import DEFAULT_LEARNERS
 from repro.parallel.executor import Executor
+from repro.resilience.degrade import RetrainFailure
 from repro.raslog.catalog import EventCatalog, default_catalog
 from repro.raslog.store import EventLog
 from repro.utils.timeutil import WEEK_SECONDS
@@ -55,6 +56,20 @@ class FrameworkConfig:
     learners: tuple[str, ...] = DEFAULT_LEARNERS
     #: Extra constructor arguments per learner name.
     learner_params: dict[str, dict] = field(default_factory=dict)
+    #: What a failed retraining does: ``"raise"`` propagates the error
+    #: (fail-fast, the batch default pinned by the failure-injection
+    #: tests); ``"degrade"`` keeps predicting with the previous rule set,
+    #: records a :class:`~repro.resilience.RetrainFailure` and retries.
+    on_retrain_error: str = "raise"
+    #: Tolerated out-of-order arrival (seconds) in the online session.
+    #: 0.0 keeps the strict behaviour: late events raise ``ValueError``.
+    #: Positive values buffer events for re-sequencing; events later than
+    #: the slack are quarantined instead of raised.
+    reorder_slack: float = 0.0
+    #: First retry delay (stream seconds) after a failed retraining.
+    retrain_backoff_base: float = 60.0
+    #: Cap on the exponential retry backoff (stream seconds).
+    retrain_backoff_cap: float = 3600.0
 
     def __post_init__(self) -> None:
         if self.prediction_window <= 0:
@@ -74,6 +89,25 @@ class FrameworkConfig:
         if self.dist_horizon_cap <= 0:
             raise ValueError(
                 f"dist_horizon_cap must be positive, got {self.dist_horizon_cap}"
+            )
+        if self.on_retrain_error not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_retrain_error must be 'raise' or 'degrade', "
+                f"got {self.on_retrain_error!r}"
+            )
+        if self.reorder_slack < 0:
+            raise ValueError(
+                f"reorder_slack must be >= 0, got {self.reorder_slack}"
+            )
+        if self.retrain_backoff_base <= 0:
+            raise ValueError(
+                f"retrain_backoff_base must be positive, "
+                f"got {self.retrain_backoff_base}"
+            )
+        if self.retrain_backoff_cap < self.retrain_backoff_base:
+            raise ValueError(
+                f"retrain_backoff_cap ({self.retrain_backoff_cap}) must be "
+                f">= retrain_backoff_base ({self.retrain_backoff_base})"
             )
 
     def with_(self, **changes) -> "FrameworkConfig":
@@ -108,6 +142,8 @@ class RunResult:
     overall: PrecisionRecall
     start_week: int
     end_week: int
+    #: retrainings that failed (only populated with ``on_retrain_error="degrade"``)
+    retrain_failures: list[RetrainFailure] = field(default_factory=list)
 
     def series(self, metric: str) -> tuple[list[int], list[float]]:
         """(weeks, values) of ``"precision"`` or ``"recall"``."""
@@ -246,14 +282,39 @@ class DynamicMetaLearningFramework:
         warnings: list[FailureWarning] = []
         churn = ChurnHistory()
         retrains: list[RetrainEvent] = []
+        failures: list[RetrainFailure] = []
         predictor: Predictor | None = None
+        #: week owed a successful retraining (degraded mode only)
+        pending: int | None = None
+        attempts = 0
 
         for week in range(start, end):
-            if self._should_retrain(week, start):
-                event = self._retrain(log, week)
-                retrains.append(event)
-                churn.append(event.churn)
-                predictor = None
+            if self._should_retrain(week, start) or pending is not None:
+                try:
+                    event = self._retrain(log, week)
+                except Exception as exc:
+                    if cfg.on_retrain_error == "raise":
+                        raise
+                    # Degraded mode: keep the previous rule set, retry at
+                    # the next week (batch replay has no finer clock).
+                    attempts += 1
+                    failures.append(
+                        RetrainFailure(
+                            week=week,
+                            error=repr(exc),
+                            error_type=type(exc).__name__,
+                            attempt=attempts,
+                            time=log.origin + week * WEEK_SECONDS,
+                        )
+                    )
+                    observe.counter("online.retrain_failures").inc()
+                    pending = week
+                else:
+                    retrains.append(event)
+                    churn.append(event.churn)
+                    predictor = None
+                    pending = None
+                    attempts = 0
             if predictor is None:
                 predictor = Predictor(
                     self.repository.rules(),
@@ -284,6 +345,7 @@ class DynamicMetaLearningFramework:
             overall=overall,
             start_week=start,
             end_week=end,
+            retrain_failures=failures,
         )
 
     # -- evaluation ------------------------------------------------------------

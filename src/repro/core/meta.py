@@ -20,12 +20,12 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro import observe
+from repro import faults, observe
 from repro.core.knowledge import RuleRecord
 from repro.learners.base import BaseLearner
 from repro.learners.registry import DEFAULT_LEARNERS, create_learner
 from repro.learners.rules import Rule
-from repro.parallel.executor import Executor, SerialExecutor
+from repro.parallel.executor import Executor, ExecutorBroken, SerialExecutor
 from repro.raslog.catalog import EventCatalog, default_catalog
 from repro.raslog.store import EventLog
 
@@ -113,9 +113,20 @@ class MetaLearner:
         executor supports it) and collect their candidate rules."""
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
+        plan = faults.active()
+        if plan is not None:
+            plan.on_train(week)
         task = _TrainTask(log, window)
         with observe.span("meta.train") as sp:
-            results = self.executor.map(task, self.learners)
+            try:
+                results = self.executor.map(task, self.learners)
+            except ExecutorBroken:
+                # Infrastructure died, not a learner: retrain serially so
+                # this round still completes, and stay serial — the old
+                # pool is closed and cannot be revived from here.
+                observe.counter("meta.train.serial_fallback").inc()
+                self.executor = SerialExecutor()
+                results = self.executor.map(task, self.learners)
             output = TrainingOutput(week=week)
             for learner, (rules, seconds) in zip(self.learners, results):
                 output.rules_by_learner[learner.name] = list(rules)

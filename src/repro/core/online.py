@@ -8,11 +8,27 @@ automatically whenever the stream crosses a retraining boundary — using
 exactly the same training-window policy, meta-learner and reviser as the
 batch framework, so a streamed trace produces the same warnings as a
 batch run over the same events (covered by the equivalence tests).
+
+A production session additionally survives the failure modes a
+long-lived monitor meets (:mod:`repro.resilience`):
+
+* with ``config.on_retrain_error="degrade"``, a crashing retraining is
+  recorded as a :class:`~repro.resilience.RetrainFailure` and retried
+  with capped exponential backoff while the previous rule set keeps
+  predicting;
+* :meth:`checkpoint` / :meth:`resume` round-trip the full session state
+  through a versioned JSON file, so a restarted process continues
+  byte-identically to one that never stopped;
+* with ``config.reorder_slack > 0``, out-of-order events within the
+  slack are re-sequenced through a bounded buffer and later ones are
+  quarantined instead of raising.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -29,7 +45,13 @@ from repro.parallel.executor import Executor
 from repro.raslog.catalog import EventCatalog, default_catalog
 from repro.raslog.events import RASEvent
 from repro.raslog.store import EventLog
+from repro.resilience import checkpoint as ckpt
+from repro.resilience.degrade import RetrainFailure, backoff_delay
+from repro.resilience.reorder import ReorderBuffer
 from repro.utils.timeutil import WEEK_SECONDS
+
+#: How many quarantined (too-late) events are kept for inspection.
+QUARANTINE_KEEP = 100
 
 
 @dataclass
@@ -48,6 +70,8 @@ class SessionSummary:
     n_warnings: int
     matching: MatchResult
     retrains: list[RetrainEvent] = field(default_factory=list)
+    retrain_failures: list[RetrainFailure] = field(default_factory=list)
+    n_quarantined: int = 0
 
     @property
     def precision(self) -> float:
@@ -97,6 +121,13 @@ class OnlinePredictionSession:
         self.churn = ChurnHistory()
         self.retrains: list[RetrainEvent] = []
         self.warnings: list[FailureWarning] = []
+        #: failed retraining attempts (degraded mode only)
+        self.retrain_failures: list[RetrainFailure] = []
+        #: most recent events dropped as later than ``reorder_slack``
+        self.quarantined: deque[RASEvent] = deque(maxlen=QUARANTINE_KEEP)
+        self.n_quarantined = 0
+        #: total events offered to :meth:`ingest` (incl. buffered/dropped)
+        self.n_ingested = 0
 
         self._events: list[RASEvent] = []
         self._fatal_times: list[float] = []
@@ -105,6 +136,21 @@ class OnlinePredictionSession:
         self._predictor: Predictor | None = None
         #: week number of the next scheduled retraining
         self._next_retrain_week = self.config.initial_train_weeks
+        #: week still owed a successful retraining (degraded mode)
+        self._pending_retrain_week: int | None = None
+        #: consecutive retrain failures since the last success
+        self._retrain_attempts = 0
+        #: stream time before which no retry may run
+        self._retry_at = float("-inf")
+        #: stream time at which the current degraded stretch began
+        self._degraded_since: float | None = None
+        #: events dropped from the head of ``_events`` by a tail resume
+        self._history_dropped = 0
+        self._reorder = (
+            ReorderBuffer(self.config.reorder_slack)
+            if self.config.reorder_slack > 0
+            else None
+        )
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -117,8 +163,18 @@ class OnlinePredictionSession:
         """Whether the initial training has happened yet."""
         return self._predictor is not None
 
+    @property
+    def degraded(self) -> bool:
+        """Whether a retraining is currently owed after failures."""
+        return self._pending_retrain_week is not None
+
     def history(self) -> EventLog:
-        """Everything ingested so far, as an EventLog."""
+        """Everything ingested so far, as an EventLog.
+
+        A session resumed from a tail checkpoint only retains the tail
+        its future retrainings can reach; earlier events are summarized
+        by counters (``summary().n_events`` stays exact).
+        """
         return EventLog(self._events, origin=self.origin, _presorted=True)
 
     def close(self) -> None:
@@ -180,14 +236,7 @@ class OnlinePredictionSession:
                 )
             )
 
-            self._predictor = Predictor(
-                self.repository.rules(),
-                window=cfg.prediction_window,
-                catalog=self.catalog,
-                ensemble=cfg.ensemble,
-                dist_horizon_cap=cfg.dist_horizon_cap,
-                rule_weights=self.repository.precision_weights(),
-            )
+            self._predictor = self._make_predictor()
             # Re-prime the fresh predictor with the last Wp seconds of the
             # stream: the rule set changed but the system's recent past did
             # not, so precursors that arrived just before the boundary must
@@ -198,37 +247,115 @@ class OnlinePredictionSession:
                 now=boundary,
             )
 
+    def _make_predictor(self) -> Predictor:
+        cfg = self.config
+        return Predictor(
+            self.repository.rules(),
+            window=cfg.prediction_window,
+            catalog=self.catalog,
+            ensemble=cfg.ensemble,
+            dist_horizon_cap=cfg.dist_horizon_cap,
+            rule_weights=self.repository.precision_weights(),
+        )
+
     def _schedule_after(self, week: int) -> None:
         if self.config.policy.retrains:
             self._next_retrain_week = week + self.config.retrain_weeks
         else:
             self._next_retrain_week = None  # type: ignore[assignment]
 
+    def _attempt_retrain(self, week: int, now: float) -> None:
+        """One retraining try; in degraded mode a failure is absorbed."""
+        try:
+            self._retrain(week)
+        except Exception as exc:
+            if self.config.on_retrain_error == "raise":
+                raise
+            self._retrain_attempts += 1
+            self.retrain_failures.append(
+                RetrainFailure(
+                    week=week,
+                    error=repr(exc),
+                    error_type=type(exc).__name__,
+                    attempt=self._retrain_attempts,
+                    time=now,
+                )
+            )
+            observe.counter("online.retrain_failures").inc()
+            if self._degraded_since is None:
+                self._degraded_since = now
+            self._retry_at = now + backoff_delay(
+                self._retrain_attempts,
+                self.config.retrain_backoff_base,
+                self.config.retrain_backoff_cap,
+            )
+        else:
+            self._pending_retrain_week = None
+            self._retrain_attempts = 0
+            self._retry_at = float("-inf")
+            if self._degraded_since is not None:
+                observe.counter("online.degraded_seconds").inc(
+                    max(0.0, now - self._degraded_since)
+                )
+                self._degraded_since = None
+
     def _cross_boundaries(self, t: float) -> None:
-        """Run any retrainings whose boundary the stream has crossed."""
+        """Run any retrainings whose boundary the stream has crossed, and
+        any backoff-elapsed retry owed from earlier failures."""
         while (
             self._next_retrain_week is not None
             and t >= self._boundary_time(self._next_retrain_week)
         ):
             week = self._next_retrain_week
-            self._retrain(week)
             self._schedule_after(week)
+            # The newest crossed boundary supersedes an older owed week:
+            # its training window is the current one.
+            self._pending_retrain_week = week
+            if t >= self._retry_at:
+                self._attempt_retrain(week, t)
+        if self._pending_retrain_week is not None and t >= self._retry_at:
+            self._attempt_retrain(self._pending_retrain_week, t)
 
     # -- public API ------------------------------------------------------------
 
     def ingest(self, event: RASEvent) -> list[FailureWarning]:
-        """Feed one event; returns any warnings it (or the timer) raised."""
+        """Feed one event; returns any warnings it (or the timer) raised.
+
+        With ``config.reorder_slack == 0`` (the default) events must
+        arrive in time order and a regression raises ``ValueError``.
+        With a positive slack, out-of-order events within the slack are
+        buffered and re-sequenced — the returned warnings then belong to
+        whichever earlier events cleared the buffer — and events later
+        than the slack are quarantined (counted, kept in
+        :attr:`quarantined`, never raised).  Call :meth:`flush` at end of
+        stream to drain the buffer.
+        """
         if event.timestamp < self.origin:
             raise ValueError(
                 f"event at {event.timestamp} precedes the session origin "
                 f"{self.origin}"
             )
-        if event.timestamp < self._last_time:
-            raise ValueError(
-                f"events must arrive in time order "
-                f"({event.timestamp} < {self._last_time})"
-            )
+        self.n_ingested += 1
+        if self._reorder is None:
+            if event.timestamp < self._last_time:
+                raise ValueError(
+                    f"events must arrive in time order "
+                    f"({event.timestamp} < {self._last_time})"
+                )
+            return self._ingest_ordered(event)
 
+        ready, dropped = self._reorder.push(event)
+        if dropped:
+            self.n_quarantined += len(dropped)
+            self.quarantined.extend(dropped)
+            observe.counter("online.quarantined").inc(len(dropped))
+        new: list[FailureWarning] = []
+        for e in ready:
+            new.extend(self._ingest_ordered(e))
+        return new
+
+    def _ingest_ordered(self, event: RASEvent) -> list[FailureWarning]:
+        """Process one event known to respect stream order."""
         self._cross_boundaries(event.timestamp)
         self._last_time = event.timestamp
         self._events.append(event)
@@ -245,16 +372,33 @@ class OnlinePredictionSession:
         self.warnings.extend(new)
         return new
 
+    def flush(self) -> list[FailureWarning]:
+        """Drain the reorder buffer (end of stream); returns new warnings."""
+        if self._reorder is None:
+            return []
+        new: list[FailureWarning] = []
+        for e in self._reorder.drain():
+            new.extend(self._ingest_ordered(e))
+        return new
+
     def advance(self, now: float) -> list[FailureWarning]:
         """Move the session clock without an event (idle timer service)."""
+        new: list[FailureWarning] = []
+        if self._reorder is not None:
+            # The clock overtaking a buffered event forces it out: the
+            # deployment timer observed "now", so nothing before it may
+            # still be pending.
+            for e in self._reorder.release_until(now):
+                new.extend(self._ingest_ordered(e))
         if now < self._last_time:
             raise ValueError(f"clock moved backwards: {now} < {self._last_time}")
         self._cross_boundaries(now)
         self._last_time = now
         if self._predictor is None or self.config.tick is None:
-            return []
-        new = self._predictor.catch_up(now, self.config.tick)
-        self.warnings.extend(new)
+            return new
+        caught = self._predictor.catch_up(now, self.config.tick)
+        self.warnings.extend(caught)
+        new.extend(caught)
         return new
 
     def summary(self) -> SessionSummary:
@@ -274,9 +418,203 @@ class OnlinePredictionSession:
             self.warnings, np.asarray(times, dtype=np.float64), codes
         )
         return SessionSummary(
-            n_events=len(self._events),
+            n_events=self._history_dropped + len(self._events),
             n_fatal=len(times),
             n_warnings=len(self.warnings),
             matching=matching,
             retrains=list(self.retrains),
+            retrain_failures=list(self.retrain_failures),
+            n_quarantined=self.n_quarantined,
         )
+
+    # -- checkpoint / resume ---------------------------------------------------
+
+    def _history_tail_start(self) -> float:
+        """Earliest event time any future retraining can reach.
+
+        Sliding policies only look back ``length_weeks`` from the next
+        owed retraining (minus one prediction window for predictor
+        priming); growing and static policies need the full history.
+        """
+        wp = self.config.prediction_window
+        owed = [
+            w
+            for w in (self._pending_retrain_week, self._next_retrain_week)
+            if w is not None
+        ]
+        if not owed:
+            return self._last_time - wp
+        policy = self.config.policy
+        if policy.kind != "sliding":
+            return self.origin
+        first = min(owed)
+        w0 = max(0, first - policy.length_weeks)
+        return min(self._boundary_time(w0), self._boundary_time(first) - wp)
+
+    def checkpoint(self, path: str | Path) -> dict:
+        """Serialize the session to ``path`` atomically; returns the payload.
+
+        The file is versioned JSON (schema
+        :data:`repro.resilience.CHECKPOINT_VERSION`) carrying the config
+        digest, clock and origin, the event-history tail future
+        retrainings need, fatal bookkeeping, the rule repository with
+        provenance, predictor monitoring state, retrain schedule and
+        degraded-mode bookkeeping, churn, accumulated warnings, and any
+        reorder-buffer residue.  Written with temp-file + ``os.replace``
+        so a crash mid-write never leaves a torn file.
+        """
+        tail_start = self._history_tail_start()
+        times = np.fromiter(
+            (e.timestamp for e in self._events),
+            dtype=np.float64,
+            count=len(self._events),
+        )
+        lo = int(np.searchsorted(times, tail_start, side="left"))
+        payload = {
+            "format": ckpt.CHECKPOINT_FORMAT,
+            "version": ckpt.CHECKPOINT_VERSION,
+            "config_digest": ckpt.config_digest(self.config),
+            "config": ckpt.config_to_dict(self.config),
+            "origin": self.origin,
+            "last_time": self._last_time,
+            "n_ingested": self.n_ingested,
+            "history": {
+                "dropped": self._history_dropped + lo,
+                "events": [e.as_dict() for e in self._events[lo:]],
+            },
+            "fatal": {
+                "times": list(self._fatal_times),
+                "codes": list(self._fatal_codes),
+            },
+            "schedule": {
+                "next_retrain_week": self._next_retrain_week,
+                "pending_retrain_week": self._pending_retrain_week,
+                "retrain_attempts": self._retrain_attempts,
+                "retry_at": (
+                    None if self._retrain_attempts == 0 else self._retry_at
+                ),
+                "degraded_since": self._degraded_since,
+            },
+            "repository": [
+                ckpt.record_to_dict(r) for r in self.repository.records()
+            ],
+            "predictor": (
+                None
+                if self._predictor is None
+                else self._predictor.state_snapshot()
+            ),
+            "retrains": [
+                ckpt.retrain_event_to_dict(r) for r in self.retrains
+            ],
+            "retrain_failures": [
+                ckpt.failure_to_dict(f) for f in self.retrain_failures
+            ],
+            "warnings": [ckpt.warning_to_dict(w) for w in self.warnings],
+            "reorder": (
+                None
+                if self._reorder is None
+                else {
+                    "max_seen": self._reorder.max_seen,
+                    "n_reordered": self._reorder.n_reordered,
+                    "buffered": [
+                        e.as_dict() for e in self._reorder.pending()
+                    ],
+                    "n_quarantined": self.n_quarantined,
+                    "quarantined_tail": [
+                        e.as_dict() for e in self.quarantined
+                    ],
+                }
+            ),
+        }
+        ckpt.atomic_write_json(path, payload)
+        observe.counter("online.checkpoints").inc()
+        return payload
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        config: FrameworkConfig | None = None,
+        catalog: EventCatalog | None = None,
+        executor: Executor | None = None,
+        own_executor: bool = False,
+    ) -> "OnlinePredictionSession":
+        """Rebuild a session from a :meth:`checkpoint` file.
+
+        ``config`` defaults to the one stored in the checkpoint; passing
+        one explicitly asserts compatibility — a digest mismatch raises
+        :class:`~repro.resilience.CheckpointError` rather than silently
+        resuming under different semantics.  The resumed session
+        continues byte-identically to one that never stopped (pinned by
+        the crash-recovery equivalence tests).
+        """
+        payload = ckpt.read_checkpoint(path)
+        if config is None:
+            config = ckpt.config_from_dict(payload["config"])
+        if ckpt.config_digest(config) != payload["config_digest"]:
+            raise ckpt.CheckpointError(
+                f"{path}: checkpoint was written under a different "
+                f"configuration (digest mismatch)"
+            )
+        session = cls(
+            config,
+            catalog=catalog,
+            executor=executor,
+            origin=payload["origin"],
+            own_executor=own_executor,
+        )
+        session._last_time = payload["last_time"]
+        session.n_ingested = payload["n_ingested"]
+        session._history_dropped = payload["history"]["dropped"]
+        session._events = [
+            RASEvent.from_dict(d) for d in payload["history"]["events"]
+        ]
+        session._fatal_times = list(payload["fatal"]["times"])
+        session._fatal_codes = list(payload["fatal"]["codes"])
+
+        schedule = payload["schedule"]
+        session._next_retrain_week = schedule["next_retrain_week"]
+        session._pending_retrain_week = schedule["pending_retrain_week"]
+        session._retrain_attempts = schedule["retrain_attempts"]
+        session._retry_at = (
+            float("-inf")
+            if schedule["retry_at"] is None
+            else schedule["retry_at"]
+        )
+        session._degraded_since = schedule["degraded_since"]
+
+        session.repository = KnowledgeRepository(
+            ckpt.record_from_dict(d) for d in payload["repository"]
+        )
+        if payload["predictor"] is not None:
+            predictor = session._make_predictor()
+            predictor.restore_state(payload["predictor"])
+            session._predictor = predictor
+        session.retrains = [
+            ckpt.retrain_event_from_dict(d) for d in payload["retrains"]
+        ]
+        session.churn = ChurnHistory()
+        for event in session.retrains:
+            session.churn.append(event.churn)
+        session.retrain_failures = [
+            ckpt.failure_from_dict(d) for d in payload["retrain_failures"]
+        ]
+        session.warnings = [
+            ckpt.warning_from_dict(d) for d in payload["warnings"]
+        ]
+
+        reorder = payload["reorder"]
+        if reorder is not None and session._reorder is not None:
+            session._reorder.max_seen = reorder["max_seen"]
+            for d in reorder["buffered"]:
+                # Re-pushing in release order preserves tie-breaking; all
+                # were inside the slack window, so none release or drop.
+                session._reorder.push(RASEvent.from_dict(d))
+            session._reorder.n_reordered = reorder["n_reordered"]
+            session.n_quarantined = reorder["n_quarantined"]
+            session._reorder.n_quarantined = reorder["n_quarantined"]
+            session.quarantined.extend(
+                RASEvent.from_dict(d) for d in reorder["quarantined_tail"]
+            )
+        observe.counter("online.resumes").inc()
+        return session

@@ -447,3 +447,43 @@ class Predictor:
             + len(self.distribution_rules)
             + sum(len(v) for v in self.count_rules.values())
         )
+
+    # -- monitoring-state persistence ---------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """JSON-ready copy of the full monitoring state.
+
+        Captures everything :class:`PredictorState` carries — the sliding
+        monitoring set, the recent-fatal burst window, per-rule refractory
+        anchors and the time-triggered expert's clock and re-arm time — so
+        a predictor rebuilt from the same rules and fed the same stream
+        tail after :meth:`restore_state` emits byte-identical warnings.
+        """
+        from repro.core.serialization import key_to_json
+
+        s = self.state
+        return {
+            "clock": s.clock,
+            "last_fatal_time": s.last_fatal_time,
+            "monitoring": [[t, code] for t, code in s.monitoring],
+            "recent_fatals": list(s.recent_fatals),
+            "last_fired": [
+                [key_to_json(key), t] for key, t in s.last_fired.items()
+            ],
+            "dist_next_allowed": s.dist_next_allowed,
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Install a state captured by :meth:`state_snapshot`."""
+        from repro.core.serialization import key_from_json
+
+        self.state = PredictorState(
+            clock=snapshot["clock"],
+            last_fatal_time=snapshot["last_fatal_time"],
+            monitoring=deque((t, code) for t, code in snapshot["monitoring"]),
+            recent_fatals=deque(snapshot["recent_fatals"]),
+            last_fired={
+                key_from_json(key): t for key, t in snapshot["last_fired"]
+            },
+            dist_next_allowed=snapshot["dist_next_allowed"],
+        )

@@ -14,16 +14,56 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.alerts import FailureWarning
 from repro.core.knowledge import KnowledgeRepository, RuleRecord
 from repro.learners.rules import (
     AssociationRule,
     CountRule,
     DistributionRule,
     Rule,
+    RuleKey,
     StatisticalRule,
 )
 
 FORMAT_VERSION = 1
+
+
+def key_to_json(key: RuleKey) -> Any:
+    """JSON-ready form of a rule key (nested tuples become lists)."""
+    if isinstance(key, tuple):
+        return [key_to_json(item) for item in key]
+    return key
+
+
+def key_from_json(data: Any) -> RuleKey:
+    """Inverse of :func:`key_to_json`.
+
+    Rule keys are built exclusively from tuples and primitives, so every
+    JSON list decodes back to a tuple unambiguously.
+    """
+    if isinstance(data, list):
+        return tuple(key_from_json(item) for item in data)
+    return data
+
+
+def warning_to_dict(warning: FailureWarning) -> dict[str, Any]:
+    return {
+        "time": warning.time,
+        "predicted": warning.predicted,
+        "window": warning.window,
+        "rule_key": key_to_json(warning.rule_key),
+        "learner": warning.learner,
+    }
+
+
+def warning_from_dict(data: dict[str, Any]) -> FailureWarning:
+    return FailureWarning(
+        time=data["time"],
+        predicted=data["predicted"],
+        window=data["window"],
+        rule_key=key_from_json(data["rule_key"]),
+        learner=data["learner"],
+    )
 
 
 def rule_to_dict(rule: Rule) -> dict[str, Any]:

@@ -1,0 +1,146 @@
+"""Deterministic fault injection for chaos testing.
+
+The resilience contracts of the online session — degraded-mode
+retraining, serial fallback on broken pools, late-event quarantine — are
+only trustworthy if they are exercised, so this package provides a
+seedable :class:`FaultPlan` describing *when* the infrastructure should
+misbehave, plus pure helpers that corrupt log lines and jitter
+timestamps the way real collectors do.
+
+A plan is activated with :func:`install` (a context manager); hook
+points in :meth:`repro.core.meta.MetaLearner.train` and the pooled
+executors consult the active plan and raise on a match::
+
+    plan = FaultPlan(learner_crashes=[LearnerCrash(week=28, attempts=1)])
+    with faults.install(plan):
+        for event in log:
+            session.ingest(event)   # week-28 retrain crashes once
+
+Plans are deterministic: the same plan over the same stream injects the
+same faults, so chaos tests replay exactly.  No plan is ever active
+unless a test installs one — the hooks are a single ``is None`` check in
+production.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.faults.corrupt import corrupt_lines, jitter_timestamps
+
+
+class FaultInjected(RuntimeError):
+    """An artificial failure raised by an installed :class:`FaultPlan`."""
+
+
+@dataclass(frozen=True, slots=True)
+class LearnerCrash:
+    """Crash meta-training at ``week`` for its first ``attempts`` tries.
+
+    ``attempts=1`` models a transient bug (the retry succeeds);
+    ``attempts=10**9`` models a persistent one.  ``learner`` names the
+    culprit in the raised message (provenance only — the crash surfaces
+    from :meth:`MetaLearner.train` either way, exactly like a real
+    learner exception propagating out of the executor).
+    """
+
+    week: int
+    attempts: int = 1
+    learner: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PoolBreak:
+    """Break the pooled executor's next ``times`` map calls."""
+
+    times: int = 1
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of infrastructure misbehaviour.
+
+    The plan tracks its own attempt counters, so "crash the first K
+    attempts at week W" needs no cooperation from the code under test.
+    Counters make a plan stateful: build a fresh one per scenario.
+    """
+
+    learner_crashes: list[LearnerCrash] = field(default_factory=list)
+    pool_breaks: list[PoolBreak] = field(default_factory=list)
+
+    #: retrain attempts observed so far, per week
+    train_attempts: dict[int, int] = field(default_factory=dict)
+    #: executor map calls broken so far
+    pool_breaks_done: int = 0
+    #: faults actually raised, for test assertions
+    injected: list[str] = field(default_factory=list)
+
+    def on_train(self, week: int) -> None:
+        """Hook: called by ``MetaLearner.train`` before mapping learners."""
+        attempt = self.train_attempts.get(week, 0) + 1
+        self.train_attempts[week] = attempt
+        for crash in self.learner_crashes:
+            if crash.week == week and attempt <= crash.attempts:
+                who = crash.learner or "learner"
+                record = f"train:{week}:{attempt}"
+                self.injected.append(record)
+                raise FaultInjected(
+                    f"injected {who} crash at week {week} (attempt {attempt})"
+                )
+
+    def on_executor_map(self, executor: object) -> None:
+        """Hook: called by pooled executors before mapping tasks.
+
+        Raises ``BrokenProcessPool`` — the *real* exception type a dead
+        worker produces — so the executor's catch-and-retype path and the
+        meta-learner's serial fallback are exercised end to end.
+        """
+        budget = sum(b.times for b in self.pool_breaks)
+        if self.pool_breaks_done < budget:
+            self.pool_breaks_done += 1
+            self.injected.append(f"pool:{self.pool_breaks_done}")
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool(
+                f"injected pool break #{self.pool_breaks_done} "
+                f"on {type(executor).__name__}"
+            )
+
+
+_lock = threading.Lock()
+_active: FaultPlan | None = None
+
+
+def active() -> FaultPlan | None:
+    """The currently installed plan, or None (the production state)."""
+    return _active
+
+
+@contextmanager
+def install(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of a ``with`` block."""
+    global _active
+    with _lock:
+        if _active is not None:
+            raise RuntimeError("a fault plan is already installed")
+        _active = plan
+    try:
+        yield plan
+    finally:
+        with _lock:
+            _active = None
+
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "LearnerCrash",
+    "PoolBreak",
+    "active",
+    "corrupt_lines",
+    "install",
+    "jitter_timestamps",
+]

@@ -1,0 +1,68 @@
+"""Seedable trace corruption: garbled lines and clock jitter.
+
+Models the two dominant defects of real RAS collectors — log lines
+truncated or overwritten mid-write, and per-node clock skew delivering
+events out of order.  Both helpers are pure functions of their seed, so
+a chaos test replays identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.raslog.events import RASEvent
+
+#: Replacement payloads for corrupted lines, in the styles seen in real
+#: dumps: binary noise, truncation, and field-boundary mangling.
+_GARBAGE = (
+    "\x00\x7f\x00 binary splice",
+    "truncated line with",
+    "- notanepoch 2005.06.03 R00 whatever",
+    "",
+)
+
+
+def corrupt_lines(
+    lines: Iterable[str], fraction: float, seed: int = 0
+) -> list[str]:
+    """Replace ``fraction`` of lines with deterministic garbage."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    out: list[str] = []
+    for line in lines:
+        if rng.random() < fraction:
+            out.append(_GARBAGE[int(rng.integers(len(_GARBAGE)))])
+        else:
+            out.append(line)
+    return out
+
+
+def jitter_timestamps(
+    events: Sequence[RASEvent],
+    fraction: float,
+    max_jitter: float,
+    seed: int = 0,
+) -> list[RASEvent]:
+    """Shift ``fraction`` of events backwards by up to ``max_jitter`` s.
+
+    The list keeps its original (arrival) sequence; only the stamps move.
+    This reproduces a collector that forwards promptly but stamps with a
+    skewed clock, so events now arrive out of timestamp order by up to
+    ``max_jitter`` seconds.  Timestamps are clamped at 0 to stay valid.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+    if max_jitter < 0:
+        raise ValueError(f"max_jitter must be >= 0, got {max_jitter}")
+    rng = np.random.default_rng(seed)
+    out: list[RASEvent] = []
+    for event in events:
+        if rng.random() < fraction:
+            shift = float(rng.uniform(0.0, max_jitter))
+            out.append(event.with_timestamp(max(0.0, event.timestamp - shift)))
+        else:
+            out.append(event)
+    return out

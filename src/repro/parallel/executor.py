@@ -22,11 +22,27 @@ import abc
 import os
 import weakref
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class ExecutorBroken(RuntimeError):
+    """The backing worker pool died mid-map.
+
+    Raised in place of ``concurrent.futures.BrokenProcessPool`` (or
+    ``BrokenThreadPool``) so callers can tell *infrastructure* failure —
+    a worker process killed by the OOM killer, a segfaulting extension —
+    apart from an exception raised by the mapped function itself (which
+    propagates unchanged).  The dead pool is closed before raising; the
+    executor cannot be reused.
+    """
 
 
 class Executor(abc.ABC):
@@ -80,7 +96,21 @@ class _PooledExecutor(Executor):
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         if self.closed:
             raise RuntimeError(f"{type(self).__name__} is closed")
-        return list(self._pool.map(fn, tasks))
+        from repro import faults
+
+        try:
+            plan = faults.active()
+            if plan is not None:
+                plan.on_executor_map(self)
+            return list(self._pool.map(fn, tasks))
+        except BrokenExecutor as exc:
+            # The pool is unusable from here on; shut it down so worker
+            # handles are reaped, then surface a typed error the
+            # resilience layer can match on.
+            self.close()
+            raise ExecutorBroken(
+                f"{type(self).__name__} worker pool broke mid-map: {exc!r}"
+            ) from exc
 
     def close(self) -> None:
         if self._finalizer.detach() is not None:

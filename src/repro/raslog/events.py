@@ -117,3 +117,17 @@ class RASEvent:
             "facility": self.facility.value,
             "severity": self.severity.name,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RASEvent":
+        """Inverse of :meth:`as_dict` (checkpoint round-trips)."""
+        return cls(
+            record_id=data["record_id"],
+            event_type=data["event_type"],
+            timestamp=data["timestamp"],
+            job_id=data["job_id"],
+            location=data["location"],
+            entry_data=data["entry_data"],
+            facility=Facility(data["facility"]),
+            severity=Severity[data["severity"]],
+        )

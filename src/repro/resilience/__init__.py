@@ -1,0 +1,46 @@
+"""Fault tolerance for long-lived online sessions.
+
+Three capabilities, all wired through
+:class:`~repro.core.online.OnlinePredictionSession`:
+
+* **degraded-mode retraining** (:mod:`repro.resilience.degrade`) — a
+  crashing retrain no longer kills the session; it keeps predicting
+  with the previous rule set, records a :class:`RetrainFailure` and
+  retries with capped exponential backoff;
+* **checkpoint/resume** (:mod:`repro.resilience.checkpoint`) — the full
+  session state round-trips through a versioned JSON file written
+  atomically, and a resumed session continues byte-identically to an
+  uninterrupted one;
+* **late-event tolerance** (:mod:`repro.resilience.reorder`) — a bounded
+  :class:`ReorderBuffer` re-sequences events that arrive within a
+  configured slack and quarantines anything later, instead of raising.
+
+The matching chaos harness lives in :mod:`repro.faults`.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    atomic_write_json,
+    config_digest,
+    config_from_dict,
+    config_to_dict,
+    read_checkpoint,
+)
+from repro.resilience.degrade import RetrainFailure, backoff_delay
+from repro.resilience.reorder import ReorderBuffer
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "ReorderBuffer",
+    "RetrainFailure",
+    "atomic_write_json",
+    "backoff_delay",
+    "config_digest",
+    "config_from_dict",
+    "config_to_dict",
+    "read_checkpoint",
+]

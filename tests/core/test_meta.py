@@ -5,7 +5,11 @@ import pytest
 from repro.core.meta import MetaLearner
 from repro.learners.base import BaseLearner
 from repro.learners.rules import StatisticalRule
-from repro.parallel.executor import SerialExecutor, ThreadExecutor
+from repro.parallel.executor import (
+    ExecutorBroken,
+    SerialExecutor,
+    ThreadExecutor,
+)
 
 
 class _CountingLearner(BaseLearner):
@@ -103,3 +107,46 @@ class TestTraining:
         assert out.rules_by_learner["association"]
         assert out.rules_by_learner["statistical"]
         assert out.rules_by_learner["distribution"]
+
+
+class _BrokenExecutorStub:
+    """Executor whose pool is permanently broken (infrastructure, not task)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def map(self, fn, tasks):
+        self.calls += 1
+        raise ExecutorBroken("stub pool broke")
+
+
+class TestSerialFallback:
+    def test_broken_pool_falls_back_to_serial_once(self, catalog):
+        from repro import observe
+        from tests.conftest import make_log
+
+        learner = _CountingLearner(catalog)
+        broken = _BrokenExecutorStub()
+        meta = MetaLearner([learner], catalog=catalog, executor=broken)
+        log = make_log([(10.0, "KERNEL-N-000", {})])
+        registry = observe.MetricsRegistry()
+        with observe.use_registry(registry):
+            output = meta.train(log, 300.0)
+        assert broken.calls == 1
+        assert learner.calls == 1  # the serial retry actually trained
+        assert output.n_rules == 1
+        assert isinstance(meta.executor, SerialExecutor)
+        assert registry.counter("meta.train.serial_fallback").value == 1
+
+    def test_learner_bugs_still_propagate(self, catalog):
+        class _Bug(BaseLearner):
+            name = "bug"
+
+            def train(self, log, window):
+                raise ZeroDivisionError("task bug")
+
+        from tests.conftest import make_log
+
+        meta = MetaLearner([_Bug(catalog)], catalog=catalog)
+        with pytest.raises(ZeroDivisionError):
+            meta.train(make_log([(10.0, "KERNEL-N-000", {})]), 300.0)

@@ -127,11 +127,22 @@ class TestPredictorInvariants:
     @given(rule_sets(), event_streams())
     def test_union_superset_of_experts(self, rules, log):
         """Every expert-mode warning also appears under the union policy
-        (same rule, same time)."""
+        (same rule, same time).
+
+        The distribution expert is excluded: its re-arm timer advances on
+        every firing, and union mode consults it on every event while
+        experts mode only falls back to it when the other experts were
+        silent — so its fire *times* legitimately diverge between the two
+        policies.  The property holds for the stateless experts.
+        """
         experts = Predictor(rules, 300.0, CATALOG, ensemble="experts").replay(log)
         union = Predictor(rules, 300.0, CATALOG, ensemble="union").replay(log)
         union_sigs = {(w.time, w.rule_key) for w in union}
-        assert all((w.time, w.rule_key) in union_sigs for w in experts)
+        assert all(
+            (w.time, w.rule_key) in union_sigs
+            for w in experts
+            if w.learner != "distribution"
+        )
 
     @settings(max_examples=40, deadline=None)
     @given(rule_sets(), event_streams())

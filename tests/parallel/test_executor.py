@@ -5,6 +5,7 @@ import gc
 import pytest
 
 from repro.parallel.executor import (
+    ExecutorBroken,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -116,3 +117,31 @@ class TestFactory:
     def test_unknown_kind(self):
         with pytest.raises(ValueError, match="unknown executor"):
             make_executor("gpu")
+
+
+def _kill_own_process(x):
+    import os
+
+    os._exit(1)  # hard-kill the worker: the pool itself breaks
+
+
+class TestBrokenPool:
+    def test_dead_worker_raises_typed_error_and_closes_pool(self):
+        """A worker dying mid-map is infrastructure failure, not a task
+        bug: it surfaces as ExecutorBroken and the pool is unusable."""
+        ex = ProcessExecutor(max_workers=1)
+        with pytest.raises(ExecutorBroken, match="worker pool broke"):
+            ex.map(_kill_own_process, [1])
+        assert ex.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.map(square, [1])
+
+    def test_task_exceptions_are_not_retyped(self):
+        """Ordinary task bugs keep their own exception type."""
+
+        def boom(x):
+            raise KeyError("task bug")
+
+        with ThreadExecutor(max_workers=2) as ex:
+            with pytest.raises(KeyError, match="task bug"):
+                ex.map(boom, [1])

@@ -1,0 +1,36 @@
+"""Shared fixtures for the resilience tests: a small deterministic
+trace with a stationary A -> B -> FATAL pattern that trains real rules
+in a couple of seconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import FrameworkConfig
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.conftest import make_log
+
+PRECURSOR_A = "KERNEL-N-002"
+PRECURSOR_B = "KERNEL-N-003"
+FATAL = "KERNEL-F-000"
+
+
+def pattern_log(weeks: int = 8):
+    """A -> B -> FATAL every three hours for ``weeks`` weeks."""
+    period = 10_800.0
+    specs = []
+    t = 600.0
+    while t + 120.0 < weeks * WEEK_SECONDS:
+        specs += [(t, PRECURSOR_A), (t + 60.0, PRECURSOR_B), (t + 120.0, FATAL)]
+        t += period
+    return make_log(specs)
+
+
+@pytest.fixture(scope="package")
+def small_log():
+    return pattern_log()
+
+
+@pytest.fixture(scope="package")
+def small_config():
+    return FrameworkConfig(initial_train_weeks=2, retrain_weeks=2)

@@ -1,0 +1,194 @@
+"""Checkpoint/resume: crash-recovery equivalence and file hardening.
+
+The headline contract: a session killed mid-stream and resumed from its
+last checkpoint continues *warning-for-warning identically* to one that
+never stopped, and its final :class:`SessionSummary` matches exactly
+(no double counting, no lost accounting).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.framework import FrameworkConfig
+from repro.core.online import OnlinePredictionSession
+from repro.resilience import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    atomic_write_json,
+    config_digest,
+    config_from_dict,
+    config_to_dict,
+    read_checkpoint,
+)
+
+
+def stream(session, events):
+    for event in events:
+        session.ingest(event)
+    return session
+
+
+def run_uninterrupted(log, config, catalog):
+    return stream(OnlinePredictionSession(config, catalog=catalog), log)
+
+
+def assert_summaries_equal(got, want):
+    assert got.n_events == want.n_events
+    assert got.n_fatal == want.n_fatal
+    assert got.n_warnings == want.n_warnings
+    assert got.n_quarantined == want.n_quarantined
+    assert [r.week for r in got.retrains] == [r.week for r in want.retrains]
+    assert got.retrain_failures == want.retrain_failures
+    assert got.matching.true_positives == want.matching.true_positives
+    assert got.matching.false_positives == want.matching.false_positives
+    assert got.matching.false_negatives == want.matching.false_negatives
+    assert got.precision == want.precision
+    assert got.recall == want.recall
+
+
+class TestCrashRecovery:
+    @pytest.fixture(scope="class")
+    def reference(self, small_log, small_config, catalog):
+        return run_uninterrupted(small_log, small_config, catalog)
+
+    @pytest.mark.parametrize("fraction", [0.3, 0.6, 0.9])
+    def test_resume_is_warning_for_warning_identical(
+        self, small_log, small_config, catalog, reference, tmp_path, fraction
+    ):
+        """Kill mid-stream, resume, finish: identical warning stream."""
+        events = list(small_log)
+        cut = int(len(events) * fraction)
+        first = stream(
+            OnlinePredictionSession(small_config, catalog=catalog),
+            events[:cut],
+        )
+        path = tmp_path / "session.ckpt"
+        first.checkpoint(path)
+        # a real crash loses everything after the checkpoint
+        del first
+
+        resumed = OnlinePredictionSession.resume(
+            path, small_config, catalog=catalog
+        )
+        stream(resumed, events[resumed.n_ingested:])
+        assert resumed.warnings == reference.warnings
+        assert_summaries_equal(resumed.summary(), reference.summary())
+
+    def test_summary_not_double_counted_across_two_resumes(
+        self, small_log, small_config, catalog, reference, tmp_path
+    ):
+        """Regression: resuming twice must not inflate any summary count."""
+        events = list(small_log)
+        path = tmp_path / "session.ckpt"
+        session = OnlinePredictionSession(small_config, catalog=catalog)
+        for stop in (len(events) // 3, 2 * len(events) // 3):
+            stream(session, events[session.n_ingested:stop])
+            session.checkpoint(path)
+            session = OnlinePredictionSession.resume(
+                path, small_config, catalog=catalog
+            )
+        stream(session, events[session.n_ingested:])
+        assert session.warnings == reference.warnings
+        assert_summaries_equal(session.summary(), reference.summary())
+
+    def test_checkpoint_during_initial_training(
+        self, small_log, small_config, catalog, reference, tmp_path
+    ):
+        """A checkpoint taken before the first retraining (no predictor
+        yet) resumes into the same final state."""
+        events = list(small_log)
+        boundary = 2 * 604_800.0
+        cut = next(i for i, e in enumerate(events) if e.timestamp > boundary / 2)
+        first = stream(
+            OnlinePredictionSession(small_config, catalog=catalog),
+            events[:cut],
+        )
+        assert not first.started
+        path = tmp_path / "early.ckpt"
+        first.checkpoint(path)
+        resumed = OnlinePredictionSession.resume(
+            path, small_config, catalog=catalog
+        )
+        assert not resumed.started
+        stream(resumed, events[resumed.n_ingested:])
+        assert resumed.warnings == reference.warnings
+        assert_summaries_equal(resumed.summary(), reference.summary())
+
+    def test_resume_without_explicit_config(
+        self, small_log, small_config, catalog, tmp_path
+    ):
+        """The checkpoint carries its config; resume(path) alone works."""
+        events = list(small_log)
+        first = stream(
+            OnlinePredictionSession(small_config, catalog=catalog),
+            events[: len(events) // 2],
+        )
+        path = tmp_path / "session.ckpt"
+        first.checkpoint(path)
+        resumed = OnlinePredictionSession.resume(path, catalog=catalog)
+        assert resumed.config == small_config
+        assert resumed.n_ingested == first.n_ingested
+
+
+class TestFileHardening:
+    def checkpointed(self, small_log, small_config, catalog, path):
+        events = list(small_log)
+        session = stream(
+            OnlinePredictionSession(small_config, catalog=catalog),
+            events[: len(events) // 2],
+        )
+        session.checkpoint(path)
+        return session
+
+    def test_version_mismatch_rejected(
+        self, small_log, small_config, catalog, tmp_path
+    ):
+        path = tmp_path / "session.ckpt"
+        self.checkpointed(small_log, small_config, catalog, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="version"):
+            OnlinePredictionSession.resume(path, small_config, catalog=catalog)
+
+    def test_foreign_json_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(CheckpointError, match=CHECKPOINT_FORMAT):
+            read_checkpoint(path)
+
+    def test_torn_file_rejected(self, tmp_path):
+        path = tmp_path / "torn.ckpt"
+        path.write_text('{"format": "repro-session-ch')
+        with pytest.raises(CheckpointError, match="JSON"):
+            read_checkpoint(path)
+
+    def test_config_digest_mismatch_rejected(
+        self, small_log, small_config, catalog, tmp_path
+    ):
+        """Resuming under different semantics must fail loudly."""
+        path = tmp_path / "session.ckpt"
+        self.checkpointed(small_log, small_config, catalog, path)
+        other = FrameworkConfig(
+            initial_train_weeks=2, retrain_weeks=2, prediction_window=600.0
+        )
+        with pytest.raises(CheckpointError, match="digest"):
+            OnlinePredictionSession.resume(path, other, catalog=catalog)
+
+    def test_atomic_write_preserves_previous_on_failure(self, tmp_path):
+        """A failed write leaves the previous checkpoint intact."""
+        path = tmp_path / "session.ckpt"
+        atomic_write_json(path, {"format": CHECKPOINT_FORMAT, "n": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.loads(path.read_text())["n"] == 1
+        assert list(tmp_path.iterdir()) == [path]  # no stray temp files
+
+    def test_config_round_trips_through_dict(self, small_config):
+        clone = config_from_dict(config_to_dict(small_config))
+        assert config_digest(clone) == config_digest(small_config)
+        degraded = dataclasses.replace(small_config, on_retrain_error="degrade")
+        assert config_digest(degraded) != config_digest(small_config)

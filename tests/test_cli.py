@@ -171,3 +171,76 @@ class TestExperiment:
         rc = main(["experiment", "figure99"])
         assert rc == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestStrictParsing:
+    @pytest.fixture(scope="class")
+    def dirty_log(self, clean_log, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "dirty.log"
+        lines = clean_log.read_text().splitlines()
+        lines.insert(len(lines) // 2, "\x00\x01 not a log line")
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_lenient_run_surfaces_skip_report(self, dirty_log, capsys):
+        rc = main(
+            ["run", str(dirty_log), "--initial-weeks", "4",
+             "--retrain-weeks", "4"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "skipped 1 malformed line" in err
+
+    def test_strict_run_exits_nonzero(self, dirty_log, capsys):
+        rc = main(
+            ["run", str(dirty_log), "--strict", "--initial-weeks", "4",
+             "--retrain-weeks", "4"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_strict_metrics_exits_nonzero(self, dirty_log, capsys):
+        rc = main(["metrics", str(dirty_log), "--strict"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckpointResume:
+    def test_checkpoint_then_resume_completes_run(self, tmp_path, capsys):
+        log = tmp_path / "ckpt_run.log"
+        main(
+            [
+                "generate", "--system", "SDSC", "--scale", "0.3",
+                "--weeks", "12", "--seed", "9", "--clean",
+                "--output", str(log),
+            ]
+        )
+        capsys.readouterr()  # discard the generate banner
+        ckpt = tmp_path / "session.ckpt"
+        rc = main(
+            [
+                "run", str(log), "--initial-weeks", "4",
+                "--retrain-weeks", "4", "--checkpoint", str(ckpt),
+                "--checkpoint-every", "500",
+            ]
+        )
+        assert rc == 0
+        assert ckpt.exists()
+        first = capsys.readouterr().out
+        assert "streamed" in first
+
+        # resuming from the final checkpoint is a no-op replay: same totals
+        rc = main(
+            [
+                "run", str(log), "--initial-weeks", "4",
+                "--retrain-weeks", "4", "--resume", str(ckpt),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "resumed from" in captured.err
+        assert captured.out == first
+
+    def test_checkpoint_every_requires_checkpoint(self, clean_log, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", str(clean_log), "--checkpoint-every", "100"])
