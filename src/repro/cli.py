@@ -38,6 +38,7 @@ from repro.raslog.catalog import default_catalog
 from repro.raslog.generator import GeneratorConfig, generate_log
 from repro.raslog.parser import ParseError, ParseReport, dump_log, load_log
 from repro.raslog.profiles import PROFILES, get_profile
+from repro.resilience import CheckpointError
 from repro.utils.tables import TableResult
 
 
@@ -446,7 +447,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--checkpoint-every requires --checkpoint")
     try:
         return args.func(args)
-    except ParseError as exc:
+    except (ParseError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # e.g. a missing/unreadable --resume checkpoint or log path
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

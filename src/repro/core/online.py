@@ -383,6 +383,8 @@ class OnlinePredictionSession:
 
     def advance(self, now: float) -> list[FailureWarning]:
         """Move the session clock without an event (idle timer service)."""
+        if now < self._last_time:
+            raise ValueError(f"clock moved backwards: {now} < {self._last_time}")
         new: list[FailureWarning] = []
         if self._reorder is not None:
             # The clock overtaking a buffered event forces it out: the
@@ -390,8 +392,6 @@ class OnlinePredictionSession:
             # still be pending.
             for e in self._reorder.release_until(now):
                 new.extend(self._ingest_ordered(e))
-        if now < self._last_time:
-            raise ValueError(f"clock moved backwards: {now} < {self._last_time}")
         self._cross_boundaries(now)
         self._last_time = now
         if self._predictor is None or self.config.tick is None:
@@ -514,7 +514,13 @@ class OnlinePredictionSession:
                 None
                 if self._reorder is None
                 else {
-                    "max_seen": self._reorder.max_seen,
+                    # -inf (no event seen yet) is not valid JSON; encode
+                    # the sentinel as null, mirroring retry_at above.
+                    "max_seen": (
+                        None
+                        if self._reorder.max_seen == float("-inf")
+                        else self._reorder.max_seen
+                    ),
                     "n_reordered": self._reorder.n_reordered,
                     "buffered": [
                         e.as_dict() for e in self._reorder.pending()
@@ -605,7 +611,11 @@ class OnlinePredictionSession:
 
         reorder = payload["reorder"]
         if reorder is not None and session._reorder is not None:
-            session._reorder.max_seen = reorder["max_seen"]
+            session._reorder.max_seen = (
+                float("-inf")
+                if reorder["max_seen"] is None
+                else reorder["max_seen"]
+            )
             for d in reorder["buffered"]:
                 # Re-pushing in release order preserves tie-breaking; all
                 # were inside the slack window, so none release or drop.

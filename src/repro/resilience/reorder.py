@@ -62,10 +62,13 @@ class ReorderBuffer:
     def release_until(self, t: float) -> list[RASEvent]:
         """Release everything at or before ``t`` (a clock advance).
 
-        The clock reaching ``t`` also moves the lateness horizon: events
-        arriving after this call are measured against ``t`` as well.
+        The clock reaching ``t`` moves the watermark up to ``t`` itself:
+        a deployment timer observed ``t``, so an event arriving later
+        with a timestamp before ``t`` can no longer be re-sequenced and
+        is quarantined — releasing it would hand the consumer an event
+        older than everything already released at this call.
         """
-        self.max_seen = max(self.max_seen, t)
+        self.max_seen = max(self.max_seen, t + self.slack)
         return self._release(t)
 
     def drain(self) -> list[RASEvent]:

@@ -23,6 +23,7 @@ from repro.resilience import (
     config_to_dict,
     read_checkpoint,
 )
+from tests.conftest import make_event
 
 
 def stream(session, events):
@@ -186,6 +187,35 @@ class TestFileHardening:
             atomic_write_json(path, {"bad": object()})
         assert json.loads(path.read_text())["n"] == 1
         assert list(tmp_path.iterdir()) == [path]  # no stray temp files
+
+    def test_checkpoint_is_strict_json_before_first_event(
+        self, catalog, tmp_path
+    ):
+        """A fresh slack session's checkpoint must be parseable JSON.
+
+        Reorder ``max_seen`` is ``-inf`` until the first event;
+        ``json.dump`` would emit the non-standard token ``-Infinity``
+        that strict parsers (jq, other languages) reject.
+        """
+        config = FrameworkConfig(
+            initial_train_weeks=2, retrain_weeks=2, reorder_slack=300.0
+        )
+        session = OnlinePredictionSession(config, catalog=catalog)
+        path = tmp_path / "fresh.ckpt"
+        session.checkpoint(path)
+        text = path.read_text()
+        assert "Infinity" not in text
+        json.loads(
+            text,
+            parse_constant=lambda s: pytest.fail(
+                f"non-standard JSON constant {s!r} in checkpoint"
+            ),
+        )
+        resumed = OnlinePredictionSession.resume(path, catalog=catalog)
+        assert resumed._reorder is not None
+        assert resumed._reorder.max_seen == float("-inf")
+        resumed.ingest(small_event := make_event(500.0, "KERNEL-N-000"))
+        assert resumed._reorder.max_seen == small_event.timestamp
 
     def test_config_round_trips_through_dict(self, small_config):
         clone = config_from_dict(config_to_dict(small_config))

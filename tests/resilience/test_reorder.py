@@ -59,6 +59,18 @@ class TestReorderBuffer:
         _, dropped = buf.push(ev(85.0))
         assert len(dropped) == 1
 
+    def test_release_until_watermark_reaches_clock(self):
+        # Regression: the watermark must reach the release time itself,
+        # not lag it by slack — otherwise an event older than everything
+        # just released gets buffered and later comes out of order.
+        buf = ReorderBuffer(10.0)
+        buf.push(ev(100.0))
+        assert [e.timestamp for e in buf.release_until(105.0)] == [100.0]
+        assert buf.watermark >= 105.0
+        ready, dropped = buf.push(ev(98.0))  # older than the observed clock
+        assert ready == []
+        assert [e.timestamp for e in dropped] == [98.0]
+
     def test_released_stream_is_nondecreasing(self):
         buf = ReorderBuffer(30.0)
         out = []
@@ -133,3 +145,40 @@ class TestSessionSlack:
     def test_negative_slack_rejected(self):
         with pytest.raises(ValueError, match="reorder_slack"):
             FrameworkConfig(reorder_slack=-1.0)
+
+    def test_late_event_after_advance_quarantined(self, catalog):
+        """Regression: an event behind the advanced clock is quarantined.
+
+        With the watermark lagging the clock by slack, this event was
+        buffered and later released behind ``_last_time``, silently
+        rewinding the session clock and unsorting ``history()``.
+        """
+        config = FrameworkConfig(
+            initial_train_weeks=2, retrain_weeks=2, reorder_slack=10.0
+        )
+        session = OnlinePredictionSession(config, catalog=catalog)
+        session.ingest(ev(100.0))
+        session.advance(105.0)
+        session.ingest(ev(98.0))  # behind the observed clock
+        assert [e.timestamp for e in session.quarantined] == [98.0]
+        session.ingest(ev(120.0))
+        session.flush()
+        times = [e.timestamp for e in session.history()]
+        assert times == sorted(times) == [100.0, 120.0]
+        assert session._last_time == 120.0
+
+    def test_advance_backwards_raises_before_draining(
+        self, catalog, slack_config
+    ):
+        """An invalid advance must not leave partial side effects."""
+        session = OnlinePredictionSession(slack_config, catalog=catalog)
+        session.ingest(ev(100.0))
+        session.ingest(ev(200.0))
+        session.advance(150.0)
+        assert [e.timestamp for e in session.history()] == [100.0]
+        with pytest.raises(ValueError, match="clock moved backwards"):
+            session.advance(50.0)
+        # 200.0 is still buffered; the failed call drained nothing
+        assert [e.timestamp for e in session.history()] == [100.0]
+        session.advance(250.0)
+        assert [e.timestamp for e in session.history()] == [100.0, 200.0]

@@ -244,3 +244,21 @@ class TestCheckpointResume:
     def test_checkpoint_every_requires_checkpoint(self, clean_log, capsys):
         with pytest.raises(SystemExit):
             main(["run", str(clean_log), "--checkpoint-every", "100"])
+
+    def test_resume_missing_checkpoint_is_clean_error(
+        self, clean_log, tmp_path, capsys
+    ):
+        rc = main(
+            ["run", str(clean_log), "--resume", str(tmp_path / "absent.ckpt")]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_corrupt_checkpoint_is_clean_error(
+        self, clean_log, tmp_path, capsys
+    ):
+        bad = tmp_path / "torn.ckpt"
+        bad.write_text('{"format": "repro-session-ch')
+        rc = main(["run", str(clean_log), "--resume", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
