@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Seven subcommands cover the operational lifecycle::
+Eight subcommands cover the operational lifecycle::
 
     repro generate    # synthesize a Blue Gene/L trace (LogHub format)
     repro preprocess  # categorize + filter a raw log
     repro train       # mine + revise rules, write them as JSON
     repro predict     # replay a log against a rule file
     repro run         # full dynamic train-and-predict loop
+    repro recover     # crash-consistent restart: checkpoint + WAL replay
     repro metrics     # stream a log and emit per-stage metrics as JSON
     repro experiment  # regenerate a paper table/figure
 
@@ -38,7 +39,12 @@ from repro.raslog.catalog import default_catalog
 from repro.raslog.generator import GeneratorConfig, generate_log
 from repro.raslog.parser import ParseError, ParseReport, dump_log, load_log
 from repro.raslog.profiles import PROFILES, get_profile
-from repro.resilience import CheckpointError
+from repro.resilience import (
+    CheckpointError,
+    EventJournal,
+    JournalError,
+    parse_fsync_policy,
+)
 from repro.utils.tables import TableResult
 
 
@@ -152,38 +158,75 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_streaming(args: argparse.Namespace, config: FrameworkConfig) -> int:
-    """`repro run` with checkpointing: stream through an online session."""
+def _run_streaming(
+    args: argparse.Namespace, config: FrameworkConfig, recover: bool = False
+) -> int:
+    """`repro run`/`repro recover`: stream through an online session."""
     log, report = _prepare_log(args.input, strict=args.strict)
     _print_parse_report(report)
-    executor = make_executor(args.executor, args.workers)
-    if args.resume:
-        session = OnlinePredictionSession.resume(
-            args.resume, config, executor=executor, own_executor=True
-        )
-        skip = session.n_ingested
-        print(
-            f"resumed from {args.resume}: {skip} events already ingested, "
-            f"clock at {session.current_week} weeks",
-            file=sys.stderr,
-        )
-    else:
-        session = OnlinePredictionSession(
-            config, executor=executor, origin=log.origin, own_executor=True
-        )
-        skip = 0
-    every = args.checkpoint_every
-    with session:
-        for i, event in enumerate(log):
-            if i < skip:
-                continue
-            session.ingest(event)
-            if args.checkpoint and every and (i + 1 - skip) % every == 0:
+    journal = (
+        EventJournal(args.journal, fsync=args.journal_fsync)
+        if args.journal
+        else None
+    )
+    try:
+        executor = make_executor(args.executor, args.workers)
+        if recover:
+            assert journal is not None
+            session = OnlinePredictionSession.recover(
+                args.checkpoint,
+                journal,
+                config,
+                executor=executor,
+                origin=log.origin,
+                own_executor=True,
+            )
+            skip = session.n_ingested
+            print(
+                f"recovered from {args.checkpoint} + journal {args.journal}: "
+                f"{skip} events already ingested "
+                f"({journal.n_torn_truncated} torn record(s) truncated), "
+                f"clock at {session.current_week} weeks",
+                file=sys.stderr,
+            )
+        elif args.resume:
+            session = OnlinePredictionSession.resume(
+                args.resume,
+                config,
+                executor=executor,
+                own_executor=True,
+                journal=journal,
+            )
+            skip = session.n_ingested
+            print(
+                f"resumed from {args.resume}: {skip} events already ingested, "
+                f"clock at {session.current_week} weeks",
+                file=sys.stderr,
+            )
+        else:
+            session = OnlinePredictionSession(
+                config,
+                executor=executor,
+                origin=log.origin,
+                own_executor=True,
+                journal=journal,
+            )
+            skip = 0
+        every = args.checkpoint_every
+        with session:
+            for i, event in enumerate(log):
+                if i < skip:
+                    continue
+                session.ingest(event)
+                if args.checkpoint and every and (i + 1 - skip) % every == 0:
+                    session.checkpoint(args.checkpoint)
+            session.flush()
+            if args.checkpoint:
                 session.checkpoint(args.checkpoint)
-        session.flush()
-        if args.checkpoint:
-            session.checkpoint(args.checkpoint)
-        summary = session.summary()
+            summary = session.summary()
+    finally:
+        if journal is not None:
+            journal.close()
     print(
         f"streamed {summary.n_events} events: "
         f"precision={summary.precision:.3f} recall={summary.recall:.3f} "
@@ -194,13 +237,14 @@ def _run_streaming(args: argparse.Namespace, config: FrameworkConfig) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _framework_config(args: argparse.Namespace) -> FrameworkConfig:
+    """Shared `repro run`/`repro recover` options -> FrameworkConfig."""
     policy = (
         static_initial(args.train_months)
         if args.static
         else dynamic_months(args.train_months)
     )
-    config = FrameworkConfig(
+    return FrameworkConfig(
         prediction_window=args.window,
         retrain_weeks=args.retrain_weeks,
         policy=policy,
@@ -208,7 +252,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_reviser=not args.no_reviser,
         on_retrain_error=args.on_retrain_error,
     )
-    if args.checkpoint or args.resume:
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    return _run_streaming(args, _framework_config(args), recover=True)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _framework_config(args)
+    if args.checkpoint or args.resume or args.journal:
         return _run_streaming(args, config)
     log, report = _prepare_log(args.input, strict=args.strict)
     _print_parse_report(report)
@@ -323,6 +375,66 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _fsync_policy(text: str) -> str | int:
+    try:
+        return parse_fsync_policy(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_streaming_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by `repro run` and `repro recover`."""
+    parser.add_argument("input")
+    parser.add_argument("--window", type=float, default=300.0)
+    parser.add_argument("--retrain-weeks", type=int, default=4)
+    parser.add_argument("--train-months", type=int, default=6)
+    parser.add_argument("--initial-weeks", type=int, default=26)
+    parser.add_argument("--static", action="store_true")
+    parser.add_argument("--no-reviser", action="store_true")
+    parser.add_argument(
+        "--executor", default="serial", choices=("serial", "thread", "process")
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 2) on the first malformed log line",
+    )
+    parser.add_argument(
+        "--on-retrain-error",
+        default="raise",
+        choices=("raise", "degrade"),
+        help="degrade: absorb retraining crashes and keep predicting "
+        "with the previous rules (default: raise)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="also checkpoint after every N ingested events (N >= 1)",
+    )
+    parser.add_argument(
+        "--journal-fsync",
+        type=_fsync_policy,
+        default="always",
+        metavar="POLICY",
+        help="journal durability: 'always' (fsync every append), a "
+        "positive integer N (fsync every N appends), or 'never' "
+        "(default: always)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -365,29 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.set_defaults(func=_cmd_predict)
 
     r = sub.add_parser("run", help="full dynamic train-and-predict loop")
-    r.add_argument("input")
-    r.add_argument("--window", type=float, default=300.0)
-    r.add_argument("--retrain-weeks", type=int, default=4)
-    r.add_argument("--train-months", type=int, default=6)
-    r.add_argument("--initial-weeks", type=int, default=26)
-    r.add_argument("--static", action="store_true")
-    r.add_argument("--no-reviser", action="store_true")
-    r.add_argument(
-        "--executor", default="serial", choices=("serial", "thread", "process")
-    )
-    r.add_argument("--workers", type=int, default=None)
-    r.add_argument(
-        "--strict",
-        action="store_true",
-        help="fail (exit 2) on the first malformed log line",
-    )
-    r.add_argument(
-        "--on-retrain-error",
-        default="raise",
-        choices=("raise", "degrade"),
-        help="degrade: absorb retraining crashes and keep predicting "
-        "with the previous rules (default: raise)",
-    )
+    _add_streaming_options(r)
     r.add_argument(
         "--checkpoint",
         default=None,
@@ -395,19 +485,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream through an online session and checkpoint to PATH",
     )
     r.add_argument(
-        "--checkpoint-every",
-        type=int,
-        default=0,
-        metavar="N",
-        help="also checkpoint after every N ingested events",
-    )
-    r.add_argument(
         "--resume",
         default=None,
         metavar="PATH",
         help="resume a previously checkpointed session and continue the log",
     )
+    r.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="write-ahead journal directory: append every accepted event "
+        "before processing it, so a crash loses nothing past the last "
+        "checkpoint (recover with `repro recover`)",
+    )
     r.set_defaults(func=_cmd_run)
+
+    rec = sub.add_parser(
+        "recover",
+        help="crash-consistent restart: load the checkpoint, truncate any "
+        "torn journal tail, replay the journal past the checkpoint, then "
+        "continue the log",
+    )
+    _add_streaming_options(rec)
+    rec.add_argument(
+        "--checkpoint",
+        required=True,
+        metavar="PATH",
+        help="checkpoint file of the dead session (absent: replay the "
+        "whole journal into a fresh session)",
+    )
+    rec.add_argument(
+        "--journal",
+        required=True,
+        metavar="DIR",
+        help="write-ahead journal directory of the dead session",
+    )
+    rec.set_defaults(func=_cmd_recover, resume=None)
 
     m = sub.add_parser(
         "metrics",
@@ -443,11 +556,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "checkpoint_every", 0) and not args.checkpoint:
+    if getattr(args, "checkpoint_every", None) and not args.checkpoint:
         parser.error("--checkpoint-every requires --checkpoint")
     try:
         return args.func(args)
-    except (ParseError, CheckpointError) as exc:
+    except (ParseError, CheckpointError, JournalError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:

@@ -19,6 +19,11 @@ long-lived monitor meets (:mod:`repro.resilience`):
 * :meth:`checkpoint` / :meth:`resume` round-trip the full session state
   through a versioned JSON file, so a restarted process continues
   byte-identically to one that never stopped;
+* with a :class:`~repro.resilience.EventJournal` attached, every
+  accepted input is appended to a write-ahead log *before* it is
+  processed, and :meth:`recover` (checkpoint + journal replay past the
+  checkpoint's recorded position) is crash-consistent — no event
+  between the last checkpoint and the crash is lost;
 * with ``config.reorder_slack > 0``, out-of-order events within the
   slack are re-sequenced through a bounded buffer and later ones are
   quarantined instead of raising.
@@ -47,6 +52,7 @@ from repro.raslog.events import RASEvent
 from repro.raslog.store import EventLog
 from repro.resilience import checkpoint as ckpt
 from repro.resilience.degrade import RetrainFailure, backoff_delay
+from repro.resilience.journal import EventJournal, JournalCorruption
 from repro.resilience.reorder import ReorderBuffer
 from repro.utils.timeutil import WEEK_SECONDS
 
@@ -99,6 +105,7 @@ class OnlinePredictionSession:
         executor: Executor | None = None,
         origin: float = 0.0,
         own_executor: bool = False,
+        journal: EventJournal | None = None,
     ) -> None:
         self.config = config or FrameworkConfig()
         self.catalog = catalog or default_catalog()
@@ -146,6 +153,11 @@ class OnlinePredictionSession:
         self._degraded_since: float | None = None
         #: events dropped from the head of ``_events`` by a tail resume
         self._history_dropped = 0
+        #: write-ahead log of accepted inputs (None: checkpoint-only
+        #: durability); appends happen *before* processing, replay is
+        #: suppressed while :attr:`_replaying` re-feeds journal records.
+        self._journal = journal
+        self._replaying = False
         self._reorder = (
             ReorderBuffer(self.config.reorder_slack)
             if self.config.reorder_slack > 0
@@ -335,13 +347,19 @@ class OnlinePredictionSession:
                 f"event at {event.timestamp} precedes the session origin "
                 f"{self.origin}"
             )
+        if self._reorder is None and event.timestamp < self._last_time:
+            raise ValueError(
+                f"events must arrive in time order "
+                f"({event.timestamp} < {self._last_time})"
+            )
+        # Write-ahead: the accepted event becomes durable before any
+        # state changes, so a crash between here and the end of this
+        # call is recovered by replaying the journal record.  Rejected
+        # events (the raises above) are deliberately never journaled —
+        # replaying them would abort recovery with the same error.
+        self._journal_append({"kind": "ingest", "event": event.as_dict()})
         self.n_ingested += 1
         if self._reorder is None:
-            if event.timestamp < self._last_time:
-                raise ValueError(
-                    f"events must arrive in time order "
-                    f"({event.timestamp} < {self._last_time})"
-                )
             return self._ingest_ordered(event)
 
         ready, dropped = self._reorder.push(event)
@@ -376,6 +394,7 @@ class OnlinePredictionSession:
         """Drain the reorder buffer (end of stream); returns new warnings."""
         if self._reorder is None:
             return []
+        self._journal_append({"kind": "flush"})
         new: list[FailureWarning] = []
         for e in self._reorder.drain():
             new.extend(self._ingest_ordered(e))
@@ -385,6 +404,7 @@ class OnlinePredictionSession:
         """Move the session clock without an event (idle timer service)."""
         if now < self._last_time:
             raise ValueError(f"clock moved backwards: {now} < {self._last_time}")
+        self._journal_append({"kind": "advance", "now": now})
         new: list[FailureWarning] = []
         if self._reorder is not None:
             # The clock overtaking a buffered event forces it out: the
@@ -426,6 +446,49 @@ class OnlinePredictionSession:
             retrain_failures=list(self.retrain_failures),
             n_quarantined=self.n_quarantined,
         )
+
+    # -- write-ahead journal ---------------------------------------------------
+
+    @property
+    def journal(self) -> EventJournal | None:
+        """The attached write-ahead journal, if any."""
+        return self._journal
+
+    def _journal_append(self, record: dict) -> None:
+        """Append one input record write-ahead (no-op while replaying)."""
+        if self._journal is not None and not self._replaying:
+            self._journal.append(record)
+
+    def _replay_journal(self, from_position: int) -> int:
+        """Re-feed journal records past ``from_position``; returns count.
+
+        Replay drives the *public* API (``ingest``/``advance``/``flush``)
+        with journaling suppressed, so the recovered session walks
+        exactly the state transitions of the pre-crash one — reorder
+        buffering, retraining, degraded-mode bookkeeping and all.
+        """
+        assert self._journal is not None
+        self._replaying = True
+        replayed = 0
+        try:
+            for _index, record in self._journal.replay(from_position):
+                kind = record.get("kind")
+                if kind == "ingest":
+                    self.ingest(RASEvent.from_dict(record["event"]))
+                elif kind == "advance":
+                    self.advance(record["now"])
+                elif kind == "flush":
+                    self.flush()
+                else:
+                    raise JournalCorruption(
+                        f"unknown journal record kind {kind!r}"
+                    )
+                replayed += 1
+        finally:
+            self._replaying = False
+        if replayed:
+            observe.counter("journal.replayed_events").inc(replayed)
+        return replayed
 
     # -- checkpoint / resume ---------------------------------------------------
 
@@ -510,6 +573,14 @@ class OnlinePredictionSession:
                 ckpt.failure_to_dict(f) for f in self.retrain_failures
             ],
             "warnings": [ckpt.warning_to_dict(w) for w in self.warnings],
+            # Write-ahead-log position this snapshot covers: recovery
+            # replays journal records from here on.  None: the session
+            # ran without a journal (checkpoint-only durability).
+            "journal": (
+                None
+                if self._journal is None
+                else {"position": self._journal.position}
+            ),
             "reorder": (
                 None
                 if self._reorder is None
@@ -534,6 +605,10 @@ class OnlinePredictionSession:
         }
         ckpt.atomic_write_json(path, payload)
         observe.counter("online.checkpoints").inc()
+        if self._journal is not None:
+            # Everything below the recorded position is now covered by
+            # this checkpoint; whole segments beneath it can go.
+            self._journal.compact(self._journal.position)
         return payload
 
     @classmethod
@@ -544,6 +619,7 @@ class OnlinePredictionSession:
         catalog: EventCatalog | None = None,
         executor: Executor | None = None,
         own_executor: bool = False,
+        journal: EventJournal | None = None,
     ) -> "OnlinePredictionSession":
         """Rebuild a session from a :meth:`checkpoint` file.
 
@@ -553,6 +629,12 @@ class OnlinePredictionSession:
         resuming under different semantics.  The resumed session
         continues byte-identically to one that never stopped (pinned by
         the crash-recovery equivalence tests).
+
+        Passing ``journal`` makes the resume *crash-consistent*: after
+        the snapshot is restored, journal records past the checkpoint's
+        recorded position are replayed, reconstructing every input the
+        crash would otherwise have lost (any torn final record was
+        already truncated when the journal was opened).
         """
         payload = ckpt.read_checkpoint(path)
         if config is None:
@@ -627,4 +709,68 @@ class OnlinePredictionSession:
                 RASEvent.from_dict(d) for d in reorder["quarantined_tail"]
             )
         observe.counter("online.resumes").inc()
+        if journal is not None:
+            session._journal = journal
+            recorded = payload.get("journal")
+            # A v1 checkpoint (or one written journal-less) recorded no
+            # position; replaying from 0 is only sound if the journal
+            # really does start at this checkpoint's state, so demand an
+            # explicit record when any journal records exist.
+            if recorded is None and journal.position > 0:
+                raise ckpt.CheckpointError(
+                    f"{path}: checkpoint carries no journal position but "
+                    f"the journal holds {journal.position} record(s); "
+                    f"cannot align replay"
+                )
+            position = 0 if recorded is None else recorded["position"]
+            if position > journal.position:
+                # Power loss under a relaxed fsync policy: page-cached
+                # appends below the checkpoint's position vanished.  The
+                # snapshot still covers them — realign the journal and
+                # continue (the loss window is the documented policy
+                # trade-off).
+                journal.reset_position(position)
+            session._replay_journal(position)
+        return session
+
+    @classmethod
+    def recover(
+        cls,
+        path: str | Path,
+        journal: EventJournal,
+        config: FrameworkConfig | None = None,
+        catalog: EventCatalog | None = None,
+        executor: Executor | None = None,
+        origin: float = 0.0,
+        own_executor: bool = False,
+    ) -> "OnlinePredictionSession":
+        """Crash-consistent recovery: checkpoint (if any) + journal replay.
+
+        The one-call recovery entry point behind ``repro recover``.  If
+        ``path`` exists it is resumed with the journal replayed past its
+        recorded position; if the crash happened before the first
+        checkpoint was ever written, a fresh session (``config``,
+        ``origin``) replays the whole journal instead.  Either way the
+        recovered session has seen exactly the inputs the dead one
+        accepted, minus a torn final record — which was never durable
+        and will be re-delivered by the source.
+        """
+        if Path(path).exists():
+            return cls.resume(
+                path,
+                config,
+                catalog=catalog,
+                executor=executor,
+                own_executor=own_executor,
+                journal=journal,
+            )
+        session = cls(
+            config,
+            catalog=catalog,
+            executor=executor,
+            origin=origin,
+            own_executor=own_executor,
+            journal=journal,
+        )
+        session._replay_journal(0)
         return session

@@ -59,6 +59,29 @@ class PoolBreak:
     times: int = 1
 
 
+@dataclass(frozen=True, slots=True)
+class JournalFault:
+    """Fault the write-ahead journal append of global record ``record``.
+
+    ``mode="torn"`` writes only the first ``keep_bytes`` bytes of the
+    framed record and then kills the journal (the append raises
+    :class:`FaultInjected`), modelling a power loss mid-write — recovery
+    must truncate the torn tail.  ``mode="bitflip"`` XORs ``flip_mask``
+    into payload byte ``flip_byte`` and lets the append succeed,
+    modelling bit rot — recovery must refuse to replay past it.
+    """
+
+    record: int
+    mode: str = "torn"
+    keep_bytes: int = 4
+    flip_byte: int = 0
+    flip_mask: int = 0x01
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("torn", "bitflip"):
+            raise ValueError(f"unknown journal fault mode {self.mode!r}")
+
+
 @dataclass
 class FaultPlan:
     """A deterministic schedule of infrastructure misbehaviour.
@@ -70,6 +93,7 @@ class FaultPlan:
 
     learner_crashes: list[LearnerCrash] = field(default_factory=list)
     pool_breaks: list[PoolBreak] = field(default_factory=list)
+    journal_faults: list[JournalFault] = field(default_factory=list)
 
     #: retrain attempts observed so far, per week
     train_attempts: dict[int, int] = field(default_factory=dict)
@@ -109,6 +133,33 @@ class FaultPlan:
                 f"on {type(executor).__name__}"
             )
 
+    def on_journal_append(
+        self, index: int, framed: bytes
+    ) -> tuple[bytes, str | None]:
+        """Hook: called by ``EventJournal.append`` with the framed record.
+
+        Returns ``(bytes_to_write, kill_message)``.  A non-None kill
+        message tells the journal to write the (partial) bytes, close
+        itself and raise :class:`FaultInjected` — the torn-write crash.
+        A bit flip mutates the bytes and lets the append succeed.
+        """
+        for fault in self.journal_faults:
+            record = f"journal:{fault.mode}:{index}"
+            if fault.record != index or record in self.injected:
+                continue
+            self.injected.append(record)
+            if fault.mode == "bitflip":
+                mutated = bytearray(framed)
+                # Skip the 8-byte length+CRC header: rot the payload so
+                # the stored CRC no longer matches.
+                mutated[8 + fault.flip_byte] ^= fault.flip_mask
+                return bytes(mutated), None
+            return framed[: fault.keep_bytes], (
+                f"injected torn write on journal record {index} "
+                f"(kept {fault.keep_bytes} of {len(framed)} bytes)"
+            )
+        return framed, None
+
 
 _lock = threading.Lock()
 _active: FaultPlan | None = None
@@ -137,6 +188,7 @@ def install(plan: FaultPlan) -> Iterator[FaultPlan]:
 __all__ = [
     "FaultInjected",
     "FaultPlan",
+    "JournalFault",
     "LearnerCrash",
     "PoolBreak",
     "active",

@@ -42,18 +42,46 @@ from repro.resilience.degrade import (
 )
 
 CHECKPOINT_FORMAT = "repro-session-checkpoint"
-CHECKPOINT_VERSION = 1
+#: Version written by this build.  v2 added the ``journal`` field (the
+#: write-ahead-log position covered by the snapshot); v1 files — which
+#: simply predate the journal — are still readable.
+CHECKPOINT_VERSION = 2
+CHECKPOINT_READABLE_VERSIONS = (1, 2)
 
 
 class CheckpointError(ValueError):
     """A checkpoint file that cannot (or must not) be resumed."""
 
 
+def fsync_directory(path: str | Path) -> None:
+    """Best-effort fsync of a directory entry.
+
+    ``os.replace`` makes a rename atomic, but the *directory entry*
+    itself only becomes durable once the directory is fsynced — without
+    it a power loss can make a just-renamed file vanish.  Platforms
+    without directory fds (no ``os.O_DIRECTORY``) silently skip.
+    """
+    flag = getattr(os, "O_DIRECTORY", None)
+    if flag is None:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        fd = os.open(path, os.O_RDONLY | flag)
+    except OSError:  # pragma: no cover - unreadable parent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_json(path: str | Path, payload: dict[str, Any]) -> None:
-    """Write JSON durably: temp file in the same directory + ``os.replace``.
+    """Write JSON durably: temp file + fsync + ``os.replace`` + dir fsync.
 
     A crash mid-write leaves either the previous checkpoint or none —
-    never a torn file.
+    never a torn file — and the directory fsync after the rename makes
+    the *new* file survive a power loss too.
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
@@ -71,6 +99,7 @@ def atomic_write_json(path: str | Path, payload: dict[str, Any]) -> None:
         except OSError:
             pass
         raise
+    fsync_directory(path.parent or ".")
 
 
 def read_checkpoint(path: str | Path) -> dict[str, Any]:
@@ -83,10 +112,11 @@ def read_checkpoint(path: str | Path) -> dict[str, Any]:
     if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(f"{path}: not a {CHECKPOINT_FORMAT} file")
     version = payload.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in CHECKPOINT_READABLE_VERSIONS:
         raise CheckpointError(
             f"{path}: unsupported checkpoint version {version!r} "
-            f"(this build reads version {CHECKPOINT_VERSION})"
+            f"(this build reads versions "
+            f"{', '.join(map(str, CHECKPOINT_READABLE_VERSIONS))})"
         )
     return payload
 
@@ -205,9 +235,11 @@ def retrain_event_from_dict(data: dict[str, Any]):
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "CHECKPOINT_READABLE_VERSIONS",
     "CHECKPOINT_VERSION",
     "CheckpointError",
     "atomic_write_json",
+    "fsync_directory",
     "churn_from_dict",
     "churn_to_dict",
     "config_digest",

@@ -8,6 +8,8 @@ never stopped, and its final :class:`SessionSummary` matches exactly
 
 import dataclasses
 import json
+import os
+import stat as stat_module
 
 import pytest
 
@@ -17,6 +19,7 @@ from repro.resilience import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
     CheckpointError,
+    EventJournal,
     atomic_write_json,
     config_digest,
     config_from_dict,
@@ -222,3 +225,115 @@ class TestFileHardening:
         assert config_digest(clone) == config_digest(small_config)
         degraded = dataclasses.replace(small_config, on_retrain_error="degrade")
         assert config_digest(degraded) != config_digest(small_config)
+
+    def test_atomic_write_fsyncs_file_then_directory(
+        self, tmp_path, monkeypatch
+    ):
+        """Durability fd discipline: the temp file must be fsynced before
+        the rename, and the parent *directory* after it — without the
+        directory fsync a power loss can make the checkpoint vanish."""
+        synced = []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            synced.append(stat_module.S_ISDIR(os.fstat(fd).st_mode))
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy)
+        atomic_write_json(tmp_path / "s.ckpt", {"format": CHECKPOINT_FORMAT})
+        assert True in synced and False in synced
+        # The file fsync happens strictly before the directory fsync
+        # (fsyncing the dir entry of a not-yet-durable file is useless).
+        assert synced.index(False) < synced.index(True)
+
+    def test_v1_checkpoint_still_readable(
+        self, small_log, small_config, catalog, tmp_path
+    ):
+        """Pre-journal (v1) checkpoints resume fine: the journal field
+        simply is not there."""
+        path = tmp_path / "session.ckpt"
+        self.checkpointed(small_log, small_config, catalog, path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == CHECKPOINT_VERSION == 2
+        payload["version"] = 1
+        del payload["journal"]
+        path.write_text(json.dumps(payload))
+        resumed = OnlinePredictionSession.resume(
+            path, small_config, catalog=catalog
+        )
+        assert resumed.n_ingested > 0
+
+
+class TestJournalPosition:
+    def test_checkpoint_records_journal_position(
+        self, small_log, small_config, catalog, tmp_path
+    ):
+        events = list(small_log)
+        journal = EventJournal(tmp_path / "wal", fsync="never")
+        session = OnlinePredictionSession(
+            small_config, catalog=catalog, journal=journal
+        )
+        for event in events[:40]:
+            session.ingest(event)
+        payload = session.checkpoint(tmp_path / "s.ckpt")
+        assert payload["journal"] == {"position": 40}
+        assert journal.position == 40
+        journal.close()
+
+    def test_journalless_checkpoint_records_null(
+        self, small_log, small_config, catalog, tmp_path
+    ):
+        session = OnlinePredictionSession(small_config, catalog=catalog)
+        for event in list(small_log)[:10]:
+            session.ingest(event)
+        payload = session.checkpoint(tmp_path / "s.ckpt")
+        assert payload["journal"] is None
+
+    def test_unaligned_journal_rejected(
+        self, small_log, small_config, catalog, tmp_path
+    ):
+        """A checkpoint with no recorded position must not guess where
+        replay starts when the journal is non-empty."""
+        events = list(small_log)
+        path = tmp_path / "s.ckpt"
+        session = OnlinePredictionSession(small_config, catalog=catalog)
+        for event in events[:30]:
+            session.ingest(event)
+        session.checkpoint(path)  # journal-less: position is null
+        journal = EventJournal(tmp_path / "wal", fsync="never")
+        journal.append({"kind": "ingest", "event": events[30].as_dict()})
+        with pytest.raises(CheckpointError, match="journal position"):
+            OnlinePredictionSession.resume(
+                path, small_config, catalog=catalog, journal=journal
+            )
+        journal.close()
+
+    def test_checkpoint_ahead_of_journal_realigns(
+        self, small_log, small_config, catalog, tmp_path
+    ):
+        """Power loss under fsync='never' can lose journal appends that
+        the (always-fsynced) checkpoint covers; recovery realigns the
+        journal to the checkpoint position and continues."""
+        events = list(small_log)
+        path = tmp_path / "s.ckpt"
+        journal = EventJournal(tmp_path / "wal", fsync="never")
+        session = OnlinePredictionSession(
+            small_config, catalog=catalog, journal=journal
+        )
+        for event in events[:25]:
+            session.ingest(event)
+        session.checkpoint(path)
+        journal.close()
+        # Simulate the page-cache loss: wipe the journal directory.
+        for segment in (tmp_path / "wal").iterdir():
+            segment.unlink()
+        fresh = EventJournal(tmp_path / "wal", fsync="never")
+        assert fresh.position == 0
+        resumed = OnlinePredictionSession.resume(
+            path, small_config, catalog=catalog, journal=fresh
+        )
+        assert resumed.n_ingested == 25
+        assert fresh.position == 25  # realigned, indices stay monotonic
+        resumed.ingest(events[25])
+        assert fresh.position == 26
+        fresh.close()

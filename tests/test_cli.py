@@ -245,6 +245,101 @@ class TestCheckpointResume:
         with pytest.raises(SystemExit):
             main(["run", str(clean_log), "--checkpoint-every", "100"])
 
+    @pytest.mark.parametrize("bad", ["0", "-5", "many"])
+    def test_nonpositive_checkpoint_every_rejected(self, clean_log, bad):
+        """Nonsense checkpoint schedules exit 2, never stream."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", str(clean_log), "--checkpoint", "s.ckpt",
+                 "--checkpoint-every", bad]
+            )
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "sometimes", "1.5"])
+    def test_invalid_journal_fsync_rejected(self, clean_log, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", str(clean_log), "--journal", "wal",
+                 "--journal-fsync", bad]
+            )
+        assert excinfo.value.code == 2
+
+    def test_journal_run_then_recover_matches(self, tmp_path, capsys):
+        """An uninterrupted journaled run and a `repro recover` over its
+        leftovers report identical totals."""
+        log = tmp_path / "wal_run.log"
+        main(
+            [
+                "generate", "--system", "SDSC", "--scale", "0.3",
+                "--weeks", "12", "--seed", "11", "--clean",
+                "--output", str(log),
+            ]
+        )
+        capsys.readouterr()
+        ckpt = tmp_path / "session.ckpt"
+        wal = tmp_path / "wal"
+        rc = main(
+            [
+                "run", str(log), "--initial-weeks", "4",
+                "--retrain-weeks", "4", "--checkpoint", str(ckpt),
+                "--checkpoint-every", "500", "--journal", str(wal),
+                "--journal-fsync", "never",
+            ]
+        )
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert "streamed" in first
+        assert any(wal.iterdir())  # segments were written
+
+        rc = main(
+            [
+                "recover", str(log), "--initial-weeks", "4",
+                "--retrain-weeks", "4", "--checkpoint", str(ckpt),
+                "--journal", str(wal),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "recovered from" in captured.err
+        assert captured.out == first
+
+    def test_recover_without_checkpoint_file_replays_journal(
+        self, tmp_path, capsys
+    ):
+        """A crash before the first checkpoint leaves only the journal;
+        recover starts fresh and replays the whole thing."""
+        log = tmp_path / "wal_run.log"
+        main(
+            [
+                "generate", "--system", "SDSC", "--scale", "0.2",
+                "--weeks", "10", "--seed", "13", "--clean",
+                "--output", str(log),
+            ]
+        )
+        capsys.readouterr()
+        wal = tmp_path / "wal"
+        rc = main(
+            [
+                "run", str(log), "--initial-weeks", "4",
+                "--retrain-weeks", "4", "--journal", str(wal),
+                "--journal-fsync", "never",
+            ]
+        )
+        assert rc == 0
+        first = capsys.readouterr().out
+        rc = main(
+            [
+                "recover", str(log), "--initial-weeks", "4",
+                "--retrain-weeks", "4",
+                "--checkpoint", str(tmp_path / "never-written.ckpt"),
+                "--journal", str(wal),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "recovered from" in captured.err
+        assert captured.out == first
+
     def test_resume_missing_checkpoint_is_clean_error(
         self, clean_log, tmp_path, capsys
     ):

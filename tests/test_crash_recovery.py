@@ -1,0 +1,249 @@
+"""Crash-consistency property suite: kill at any event index, recover,
+and the warning stream is identical to an uninterrupted run.
+
+The contract under test (the journal's whole reason to exist): with a
+write-ahead :class:`EventJournal` attached, checkpoint+journal recovery
+loses *nothing* — not even the events ingested after the last
+checkpoint.  Kills are sampled across two retraining boundaries and
+include kills mid-degraded-mode and kills that tear the final journal
+record mid-write (injected through :class:`repro.faults.JournalFault`).
+
+Runs under ``pytest -m chaos`` (deselected from the default suite).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+import pytest
+
+from repro import faults
+from repro.core.framework import DynamicMetaLearningFramework, FrameworkConfig
+from repro.core.online import OnlinePredictionSession
+from repro.faults import FaultInjected, FaultPlan, JournalFault, LearnerCrash
+from repro.resilience import EventJournal
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.resilience.conftest import pattern_log
+
+pytestmark = pytest.mark.chaos
+
+#: Checkpoint cadence (events) for the killed runs: small enough that
+#: kills land both before the first checkpoint and many events past one.
+CKPT_EVERY = 150
+
+#: Small segments so kills also land on freshly rotated segments.
+SEGMENT_BYTES = 16_384
+
+EVENTS = list(pattern_log(8))
+
+
+def first_index_at(week: int) -> int:
+    boundary = week * WEEK_SECONDS
+    return next(i for i, e in enumerate(EVENTS) if e.timestamp >= boundary)
+
+
+def sampled_kill_indices() -> list[int]:
+    """Kill points across the week-4 and week-6 retraining boundaries,
+    plus before-the-first-checkpoint and exactly-on-a-checkpoint."""
+    kills = {80, CKPT_EVERY}  # pre-first-checkpoint; exactly on one
+    for week in (4, 6):
+        at = first_index_at(week)
+        kills.update({at - 1, at, at + 2})
+    return sorted(kills)
+
+
+KILL_INDICES = sampled_kill_indices()
+
+
+def base_config(**overrides) -> FrameworkConfig:
+    return FrameworkConfig(
+        initial_train_weeks=2, retrain_weeks=2, **overrides
+    )
+
+
+def run_uninterrupted(config, catalog, plan=None):
+    session = OnlinePredictionSession(config, catalog=catalog)
+    with faults.install(plan) if plan else nullcontext():
+        for event in EVENTS:
+            session.ingest(event)
+    return session
+
+
+def run_until_killed(config, catalog, workdir, kill, plan=None, torn=False):
+    """Stream with journal+checkpoints and die at event index ``kill``.
+
+    A clean kill stops before ingesting ``EVENTS[kill]``; a torn kill
+    dies *inside* the journal append of that event (``JournalFault``),
+    leaving a partial record on disk.  Either way nothing is flushed or
+    checkpointed on the way out — exactly what a dead process leaves.
+    """
+    if torn:
+        torn_fault = JournalFault(record=kill, mode="torn", keep_bytes=10)
+        plan = plan or FaultPlan()
+        plan.journal_faults.append(torn_fault)
+    journal = EventJournal(
+        workdir / "wal", fsync="never", segment_bytes=SEGMENT_BYTES
+    )
+    session = OnlinePredictionSession(
+        config, catalog=catalog, journal=journal
+    )
+    with faults.install(plan) if plan else nullcontext():
+        try:
+            for i, event in enumerate(EVENTS):
+                if not torn and i == kill:
+                    break
+                session.ingest(event)
+                if (i + 1) % CKPT_EVERY == 0:
+                    session.checkpoint(workdir / "s.ckpt")
+        except FaultInjected as exc:
+            assert torn and "torn write" in str(exc)
+        else:
+            assert not torn
+    # With fsync="never", close() does no fsync: the on-disk state is
+    # exactly the raw os.write()s — what a SIGKILL would have left.
+    journal.close()
+
+
+def recover_and_finish(config, catalog, workdir, plan=None):
+    """Recover, then feed the rest of the stream from where the dead
+    session left off; returns ``(session, n_ingested_at_recovery)``."""
+    journal = EventJournal(
+        workdir / "wal", fsync="never", segment_bytes=SEGMENT_BYTES
+    )
+    with faults.install(plan) if plan else nullcontext():
+        session = OnlinePredictionSession.recover(
+            workdir / "s.ckpt", journal, config, catalog=catalog
+        )
+        recovered_at = session.n_ingested
+        for event in EVENTS[recovered_at:]:
+            session.ingest(event)
+    journal.close()
+    return session, recovered_at
+
+
+def assert_equivalent(recovered, reference):
+    assert recovered.warnings == reference.warnings
+    assert [r.week for r in recovered.retrains] == [
+        r.week for r in reference.retrains
+    ]
+    got, want = recovered.summary(), reference.summary()
+    assert got.n_events == want.n_events
+    assert got.n_fatal == want.n_fatal
+    assert got.precision == want.precision
+    assert got.recall == want.recall
+
+
+class TestKillAtAnyPoint:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return base_config()
+
+    @pytest.fixture(scope="class")
+    def reference(self, config, catalog):
+        return run_uninterrupted(config, catalog)
+
+    @pytest.mark.parametrize("kill", KILL_INDICES)
+    def test_clean_kill_recovers_identically(
+        self, config, catalog, reference, tmp_path, kill
+    ):
+        """Die (unflushed, uncheckpointed) just before event ``kill``;
+        recovery + the rest of the stream matches the reference run
+        warning for warning."""
+        run_until_killed(config, catalog, tmp_path, kill)
+        recovered, recovered_at = recover_and_finish(config, catalog, tmp_path)
+        assert recovered_at == kill  # journal replay, not checkpoint rewind
+        assert_equivalent(recovered, reference)
+
+    @pytest.mark.parametrize("kill", [KILL_INDICES[0], first_index_at(4) + 1])
+    def test_torn_final_record_recovers_identically(
+        self, config, catalog, reference, tmp_path, kill
+    ):
+        """Die *mid-append*: the torn record is truncated on recovery
+        and its event — never durable — is re-delivered by the source,
+        so the final warning stream is still identical."""
+        run_until_killed(config, catalog, tmp_path, kill, torn=True)
+        recovered, recovered_at = recover_and_finish(config, catalog, tmp_path)
+        assert recovered.journal is not None
+        assert recovered.journal.n_torn_truncated == 1
+        assert recovered_at == kill
+        assert_equivalent(recovered, reference)
+
+    def test_kill_before_any_checkpoint_replays_whole_journal(
+        self, config, catalog, reference, tmp_path
+    ):
+        kill = 80
+        assert kill < CKPT_EVERY
+        run_until_killed(config, catalog, tmp_path, kill)
+        assert not (tmp_path / "s.ckpt").exists()
+        recovered, recovered_at = recover_and_finish(config, catalog, tmp_path)
+        assert recovered_at == kill
+        assert_equivalent(recovered, reference)
+
+
+class TestKillMidDegraded:
+    """Kills while a retraining is owed (degraded mode) must preserve
+    the backoff clock, attempt counter and failure records through
+    checkpoint+journal recovery."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return base_config(
+            on_retrain_error="degrade",
+            retrain_backoff_base=3600.0,
+            retrain_backoff_cap=14_400.0,
+        )
+
+    @staticmethod
+    def crash_plan():
+        return FaultPlan(
+            learner_crashes=[LearnerCrash(week=4, attempts=10**9)]
+        )
+
+    @pytest.fixture(scope="class")
+    def reference(self, config, catalog):
+        session = run_uninterrupted(config, catalog, plan=self.crash_plan())
+        assert session.retrain_failures  # degraded stretch happened
+        return session
+
+    @pytest.mark.parametrize("offset", [1, 40])
+    def test_kill_inside_degraded_stretch(
+        self, config, catalog, reference, tmp_path, offset
+    ):
+        kill = first_index_at(4) + offset
+        run_until_killed(
+            config, catalog, tmp_path, kill, plan=self.crash_plan()
+        )
+        recovered, _ = recover_and_finish(
+            config, catalog, tmp_path, plan=self.crash_plan()
+        )
+        assert recovered.warnings == reference.warnings
+        assert [
+            (f.week, f.error_type, f.attempt, f.time)
+            for f in recovered.retrain_failures
+        ] == [
+            (f.week, f.error_type, f.attempt, f.time)
+            for f in reference.retrain_failures
+        ]
+        assert [r.week for r in recovered.retrains] == [
+            r.week for r in reference.retrains
+        ]
+
+
+class TestBatchEquivalence:
+    def test_crash_and_recover_matches_batch_at_boundary_straddle(
+        self, catalog, tmp_path
+    ):
+        """The strongest form of the contract: a crash straddling a
+        retraining boundary, recovered via checkpoint+journal, produces
+        the warning stream of a *batch* framework run over the log."""
+        config = base_config()
+        batch = DynamicMetaLearningFramework(config, catalog=catalog).run(
+            pattern_log(8)
+        )
+        kill = first_index_at(4)  # the boundary-crossing event itself
+        run_until_killed(config, catalog, tmp_path, kill)
+        recovered, _ = recover_and_finish(config, catalog, tmp_path)
+        assert recovered.warnings == batch.warnings
+        assert [r.week for r in recovered.retrains] == [
+            r.week for r in batch.retrains
+        ]
