@@ -7,7 +7,9 @@ Eight subcommands cover the operational lifecycle::
     repro train       # mine + revise rules, write them as JSON
     repro predict     # replay a log against a rule file
     repro run         # full dynamic train-and-predict loop
+                      # (--shard-by location / --shards N for a fleet)
     repro recover     # crash-consistent restart: checkpoint + WAL replay
+                      # (--fleet-dir recovers a whole sharded fleet)
     repro metrics     # stream a log and emit per-stage metrics as JSON
     repro experiment  # regenerate a paper table/figure
 
@@ -45,6 +47,7 @@ from repro.resilience import (
     JournalError,
     parse_fsync_policy,
 )
+from repro.service import PredictionService
 from repro.utils.tables import TableResult
 
 
@@ -237,6 +240,87 @@ def _run_streaming(
     return 0
 
 
+def _sharding_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "shard_by", None)
+        or getattr(args, "shards", None)
+        or getattr(args, "fleet_dir", None)
+    )
+
+
+def _print_fleet_summary(summary) -> None:
+    print(
+        f"streamed {summary.n_events} events across {summary.n_shards} "
+        f"shard(s): precision={summary.precision:.3f} "
+        f"recall={summary.recall:.3f} "
+        f"({summary.n_warnings} warnings, {summary.n_retrains} retrainings, "
+        f"{summary.n_retrain_failures} retrain failures, "
+        f"{summary.n_quarantined} quarantined)"
+    )
+    for key in sorted(summary.shards):
+        s = summary.shards[key]
+        print(
+            f"  shard {key}: {s.n_events} events, {s.n_warnings} warnings, "
+            f"precision={s.precision:.3f} recall={s.recall:.3f}"
+        )
+
+
+def _run_service(
+    args: argparse.Namespace, config: FrameworkConfig, recover: bool = False
+) -> int:
+    """`repro run --shard-by ...`: stream through a sharded fleet."""
+    log, report = _prepare_log(args.input, strict=args.strict)
+    _print_parse_report(report)
+    executor = make_executor(args.executor, args.workers)
+    if recover:
+        service = PredictionService.recover(
+            args.fleet_dir,
+            config,
+            executor=executor,
+            own_executor=True,
+            origin=log.origin,
+            journal_fsync=args.journal_fsync,
+        )
+        skipped = {k: service.session(k).n_ingested for k in service.shard_keys}
+        print(
+            f"recovered fleet from {args.fleet_dir}: "
+            f"{len(service.shard_keys)} shard(s), "
+            f"{sum(skipped.values())} events already ingested",
+            file=sys.stderr,
+        )
+    else:
+        service = PredictionService(
+            config,
+            shard_by=args.shard_by or "location",
+            shards=args.shards,
+            executor=executor,
+            own_executor=True,
+            origin=log.origin,
+            fleet_dir=args.fleet_dir,
+            journal_fsync=args.journal_fsync,
+        )
+        skipped = {}
+    every = args.checkpoint_every
+    durable = service.fleet_dir is not None
+    ingested = 0
+    with service:
+        for event in log:
+            key = service.router.key(event)
+            if skipped.get(key, 0) > 0:
+                skipped[key] -= 1
+                continue
+            service.ingest(event)
+            ingested += 1
+            if durable and every and ingested % every == 0:
+                service.checkpoint()
+        service.flush()
+        if durable:
+            service.checkpoint()
+        summary = service.summary()
+    _print_fleet_summary(summary)
+    return 0
+
+
 def _framework_config(args: argparse.Namespace) -> FrameworkConfig:
     """Shared `repro run`/`repro recover` options -> FrameworkConfig."""
     policy = (
@@ -255,11 +339,16 @@ def _framework_config(args: argparse.Namespace) -> FrameworkConfig:
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
-    return _run_streaming(args, _framework_config(args), recover=True)
+    config = _framework_config(args)
+    if args.fleet_dir:
+        return _run_service(args, config, recover=True)
+    return _run_streaming(args, config, recover=True)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _framework_config(args)
+    if _sharding_requested(args):
+        return _run_service(args, config)
     if args.checkpoint or args.resume or args.journal:
         return _run_streaming(args, config)
     log, report = _prepare_log(args.input, strict=args.strict)
@@ -309,8 +398,6 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     (the same per-stage breakdown the benchmark harness attaches to its
     output files).
     """
-    import json
-
     registry = observe.MetricsRegistry()
     with observe.use_registry(registry):
         log, report = _prepare_log(args.input, strict=args.strict)
@@ -321,15 +408,31 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             policy=dynamic_months(args.train_months),
             initial_train_weeks=args.initial_weeks,
         )
-        with OnlinePredictionSession(
-            config,
-            executor=make_executor(args.executor, args.workers),
-            origin=log.origin,
-            own_executor=True,
-        ) as session:
-            for event in log:
-                session.ingest(event)
-            summary = session.summary()
+        if _sharding_requested(args):
+            with PredictionService(
+                config,
+                shard_by=args.shard_by or "location",
+                shards=args.shards,
+                executor=make_executor(args.executor, args.workers),
+                own_executor=True,
+                origin=log.origin,
+            ) as service:
+                for event in log:
+                    service.ingest(event)
+                service.flush()
+                summary = service.summary()
+            n_retrains = summary.n_retrains
+        else:
+            with OnlinePredictionSession(
+                config,
+                executor=make_executor(args.executor, args.workers),
+                origin=log.origin,
+                own_executor=True,
+            ) as session:
+                for event in log:
+                    session.ingest(event)
+                summary = session.summary()
+            n_retrains = len(summary.retrains)
     text = registry.to_json(indent=args.indent)
     if args.output:
         with open(args.output, "w") as fh:
@@ -339,7 +442,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(text)
     print(
         f"streamed {summary.n_events} events: {summary.n_warnings} warnings, "
-        f"{len(summary.retrains)} retrainings, "
+        f"{n_retrains} retrainings, "
         f"precision={summary.precision:.3f} recall={summary.recall:.3f}",
         file=sys.stderr,
     )
@@ -433,6 +536,37 @@ def _add_streaming_options(parser: argparse.ArgumentParser) -> None:
         "positive integer N (fsync every N appends), or 'never' "
         "(default: always)",
     )
+    _add_sharding_options(parser)
+
+
+def _add_sharding_options(
+    parser: argparse.ArgumentParser, fleet: bool = True
+) -> None:
+    """Fleet options shared by `repro run`, `repro recover`, `repro metrics`."""
+    parser.add_argument(
+        "--shard-by",
+        default=None,
+        choices=("location",),
+        help="shard the stream into one prediction session per partition "
+        "key (currently: the event's location)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="hash-route locations into a fixed number of shards "
+        "(crc32(location) %% N; implies sharding)",
+    )
+    if fleet:
+        parser.add_argument(
+            "--fleet-dir",
+            default=None,
+            metavar="DIR",
+            help="fleet durability directory: per-shard journal + checkpoint "
+            "subdirectories plus an atomic service manifest (implies "
+            "sharding; recover the fleet with `repro recover --fleet-dir`)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -509,14 +643,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_streaming_options(rec)
     rec.add_argument(
         "--checkpoint",
-        required=True,
+        default=None,
         metavar="PATH",
         help="checkpoint file of the dead session (absent: replay the "
         "whole journal into a fresh session)",
     )
     rec.add_argument(
         "--journal",
-        required=True,
+        default=None,
         metavar="DIR",
         help="write-ahead journal directory of the dead session",
     )
@@ -542,7 +676,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail (exit 2) on the first malformed log line",
     )
-    m.set_defaults(func=_cmd_metrics)
+    _add_sharding_options(m, fleet=False)
+    m.set_defaults(func=_cmd_metrics, fleet_dir=None)
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")
     e.add_argument("name", help="driver name, e.g. table4 or q3_window")
@@ -556,8 +691,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "checkpoint_every", None) and not args.checkpoint:
-        parser.error("--checkpoint-every requires --checkpoint")
+    if getattr(args, "checkpoint_every", None) and not (
+        args.checkpoint or getattr(args, "fleet_dir", None)
+    ):
+        parser.error("--checkpoint-every requires --checkpoint or --fleet-dir")
+    if _sharding_requested(args) and (
+        getattr(args, "checkpoint", None)
+        or getattr(args, "resume", None)
+        or getattr(args, "journal", None)
+    ):
+        parser.error(
+            "sharding options (--shard-by/--shards/--fleet-dir) cannot be "
+            "combined with single-session --checkpoint/--resume/--journal; "
+            "fleet durability lives under --fleet-dir"
+        )
+    if args.command == "recover" and not getattr(args, "fleet_dir", None):
+        if not (args.checkpoint and args.journal):
+            parser.error(
+                "recover needs --fleet-dir (fleet recovery) or both "
+                "--checkpoint and --journal (single-session recovery)"
+            )
     try:
         return args.func(args)
     except (ParseError, CheckpointError, JournalError) as exc:

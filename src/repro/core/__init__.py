@@ -15,6 +15,7 @@ from repro.core.framework import (
     WeeklyMetrics,
 )
 from repro.core.online import OnlinePredictionSession, SessionSummary
+from repro.core.session import SessionCore, StreamSession
 from repro.core.serialization import (
     dump_repository,
     load_repository,
@@ -44,7 +45,9 @@ __all__ = [
     "DEFAULT_MIN_ROC",
     "ENSEMBLE_POLICIES",
     "OnlinePredictionSession",
+    "SessionCore",
     "SessionSummary",
+    "StreamSession",
     "TuningDecision",
     "dump_repository",
     "load_repository",

@@ -9,30 +9,35 @@ exactly the same training-window policy, meta-learner and reviser as the
 batch framework, so a streamed trace produces the same warnings as a
 batch run over the same events (covered by the equivalence tests).
 
-A production session additionally survives the failure modes a
-long-lived monitor meets (:mod:`repro.resilience`):
+Structurally the session is a *facade* over a layered stack
+(:mod:`repro.core.session`): a pure :class:`~repro.core.session.SessionCore`
+holds the prediction state machine, and the production concerns compose
+around it as wrappers —
 
+* :class:`~repro.resilience.wrappers.ReorderingSession` (enabled by
+  ``config.reorder_slack > 0``) re-sequences out-of-order events within
+  the slack through a bounded buffer and quarantines later ones;
+* :class:`~repro.resilience.wrappers.JournalingSession` (enabled by
+  passing a :class:`~repro.resilience.EventJournal`) appends every
+  accepted input write-ahead, so :meth:`recover` (checkpoint + journal
+  replay past the checkpoint's recorded position) is crash-consistent;
 * with ``config.on_retrain_error="degrade"``, a crashing retraining is
-  recorded as a :class:`~repro.resilience.RetrainFailure` and retried
-  with capped exponential backoff while the previous rule set keeps
-  predicting;
-* :meth:`checkpoint` / :meth:`resume` round-trip the full session state
+  recorded as a :class:`~repro.resilience.RetrainFailure` inside the
+  core and retried with capped exponential backoff while the previous
+  rule set keeps predicting;
+* :meth:`checkpoint` / :meth:`resume` round-trip the full stack state
   through a versioned JSON file, so a restarted process continues
-  byte-identically to one that never stopped;
-* with a :class:`~repro.resilience.EventJournal` attached, every
-  accepted input is appended to a write-ahead log *before* it is
-  processed, and :meth:`recover` (checkpoint + journal replay past the
-  checkpoint's recorded position) is crash-consistent — no event
-  between the last checkpoint and the crash is lost;
-* with ``config.reorder_slack > 0``, out-of-order events within the
-  slack are re-sequenced through a bounded buffer and later ones are
-  quarantined instead of raising.
+  byte-identically to one that never stopped.
+
+The facade owns input validation (a rejected event must never reach the
+journal), the ``n_ingested`` ledger, and the checkpoint schema; a fleet
+of these sessions is orchestrated by
+:class:`repro.service.PredictionService`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -41,53 +46,27 @@ from repro import observe
 from repro.alerts import FailureWarning
 from repro.core.framework import FrameworkConfig, RetrainEvent
 from repro.core.knowledge import KnowledgeRepository
-from repro.core.meta import MetaLearner
-from repro.core.predictor import Predictor
-from repro.core.reviser import Reviser
-from repro.core.tracking import ChurnHistory, diff_rule_sets
-from repro.evaluation.matching import MatchResult, match_warnings
+from repro.core.session import SessionCore, SessionSummary, StreamSession
+from repro.core.tracking import ChurnHistory
 from repro.parallel.executor import Executor
-from repro.raslog.catalog import EventCatalog, default_catalog
+from repro.raslog.catalog import EventCatalog
 from repro.raslog.events import RASEvent
 from repro.raslog.store import EventLog
 from repro.resilience import checkpoint as ckpt
-from repro.resilience.degrade import RetrainFailure, backoff_delay
+from repro.resilience.degrade import RetrainFailure
 from repro.resilience.journal import EventJournal, JournalCorruption
 from repro.resilience.reorder import ReorderBuffer
-from repro.utils.timeutil import WEEK_SECONDS
+from repro.resilience.wrappers import (
+    QUARANTINE_KEEP,
+    JournalingSession,
+    ReorderingSession,
+)
 
-#: How many quarantined (too-late) events are kept for inspection.
-QUARANTINE_KEEP = 100
-
-
-@dataclass
-class SessionSummary:
-    """Accounting of a finished (or in-flight) session.
-
-    ``precision``/``recall`` follow the paper's Section 5.1 formulas
-    (true positives are correct *predictions*, false negatives are missed
-    *failures*), matching
-    :attr:`repro.core.framework.RunResult.overall`; the full
-    :class:`MatchResult` is attached for coverage-based analysis.
-    """
-
-    n_events: int
-    n_fatal: int
-    n_warnings: int
-    matching: MatchResult
-    retrains: list[RetrainEvent] = field(default_factory=list)
-    retrain_failures: list[RetrainFailure] = field(default_factory=list)
-    n_quarantined: int = 0
-
-    @property
-    def precision(self) -> float:
-        denom = self.matching.true_positives + self.matching.false_positives
-        return self.matching.true_positives / denom if denom else 0.0
-
-    @property
-    def recall(self) -> float:
-        denom = self.matching.true_positives + self.matching.false_negatives
-        return self.matching.true_positives / denom if denom else 0.0
+__all__ = [
+    "OnlinePredictionSession",
+    "QUARANTINE_KEEP",
+    "SessionSummary",
+]
 
 
 class OnlinePredictionSession:
@@ -107,78 +86,113 @@ class OnlinePredictionSession:
         own_executor: bool = False,
         journal: EventJournal | None = None,
     ) -> None:
-        self.config = config or FrameworkConfig()
-        self.catalog = catalog or default_catalog()
-        self.origin = float(origin)
         self._executor = executor
         self._own_executor = own_executor and executor is not None
-        self.meta = MetaLearner(
-            learners=self.config.learners,
-            catalog=self.catalog,
-            executor=executor,
-            learner_params=self.config.learner_params,
+        self._core = SessionCore(
+            config, catalog=catalog, executor=executor, origin=origin
         )
-        self.reviser = Reviser(
-            min_roc=self.config.min_roc,
-            catalog=self.catalog,
-            tick=self.config.tick,
-            dist_horizon_cap=self.config.dist_horizon_cap,
-        )
-        self.repository = KnowledgeRepository()
-        self.churn = ChurnHistory()
-        self.retrains: list[RetrainEvent] = []
-        self.warnings: list[FailureWarning] = []
-        #: failed retraining attempts (degraded mode only)
-        self.retrain_failures: list[RetrainFailure] = []
-        #: most recent events dropped as later than ``reorder_slack``
-        self.quarantined: deque[RASEvent] = deque(maxlen=QUARANTINE_KEEP)
-        self.n_quarantined = 0
         #: total events offered to :meth:`ingest` (incl. buffered/dropped)
         self.n_ingested = 0
 
-        self._events: list[RASEvent] = []
-        self._fatal_times: list[float] = []
-        self._fatal_codes: list[str] = []
-        self._last_time = self.origin
-        self._predictor: Predictor | None = None
-        #: week number of the next scheduled retraining
-        self._next_retrain_week = self.config.initial_train_weeks
-        #: week still owed a successful retraining (degraded mode)
-        self._pending_retrain_week: int | None = None
-        #: consecutive retrain failures since the last success
-        self._retrain_attempts = 0
-        #: stream time before which no retry may run
-        self._retry_at = float("-inf")
-        #: stream time at which the current degraded stretch began
-        self._degraded_since: float | None = None
-        #: events dropped from the head of ``_events`` by a tail resume
-        self._history_dropped = 0
-        #: write-ahead log of accepted inputs (None: checkpoint-only
-        #: durability); appends happen *before* processing, replay is
-        #: suppressed while :attr:`_replaying` re-feeds journal records.
-        self._journal = journal
-        self._replaying = False
-        self._reorder = (
-            ReorderBuffer(self.config.reorder_slack)
-            if self.config.reorder_slack > 0
+        self._reordering: ReorderingSession | None = (
+            ReorderingSession(self._core, self._core.config.reorder_slack)
+            if self._core.config.reorder_slack > 0
             else None
         )
+        self._journaling: JournalingSession | None = None
+        self._stack: StreamSession = self._reordering or self._core
+        if journal is not None:
+            self._journaling = JournalingSession(self._stack, journal)
+            self._stack = self._journaling
+
+    # -- layer access ------------------------------------------------------
+
+    @property
+    def core(self) -> SessionCore:
+        """The pure prediction state machine under the wrappers."""
+        return self._core
+
+    @property
+    def config(self) -> FrameworkConfig:
+        return self._core.config
+
+    @property
+    def catalog(self) -> EventCatalog:
+        return self._core.catalog
+
+    @property
+    def origin(self) -> float:
+        return self._core.origin
+
+    @property
+    def meta(self):
+        return self._core.meta
+
+    @property
+    def reviser(self):
+        return self._core.reviser
+
+    @property
+    def repository(self) -> KnowledgeRepository:
+        return self._core.repository
+
+    @property
+    def churn(self) -> ChurnHistory:
+        return self._core.churn
+
+    @property
+    def retrains(self) -> list[RetrainEvent]:
+        return self._core.retrains
+
+    @property
+    def warnings(self) -> list[FailureWarning]:
+        return self._core.warnings
+
+    @property
+    def retrain_failures(self) -> list[RetrainFailure]:
+        """Failed retraining attempts (degraded mode only)."""
+        return self._core.retrain_failures
+
+    @property
+    def quarantined(self) -> deque[RASEvent]:
+        """Most recent events dropped as later than ``reorder_slack``."""
+        if self._reordering is None:
+            return deque(maxlen=QUARANTINE_KEEP)
+        return self._reordering.quarantined
+
+    @property
+    def n_quarantined(self) -> int:
+        return 0 if self._reordering is None else self._reordering.n_quarantined
+
+    @property
+    def journal(self) -> EventJournal | None:
+        """The attached write-ahead journal, if any."""
+        return None if self._journaling is None else self._journaling.journal
+
+    @property
+    def _reorder(self) -> ReorderBuffer | None:
+        """The reorder buffer, if late-event tolerance is enabled."""
+        return None if self._reordering is None else self._reordering.buffer
+
+    @property
+    def _last_time(self) -> float:
+        return self._core.last_time
 
     # -- bookkeeping -------------------------------------------------------
 
     @property
     def current_week(self) -> int:
-        return int((self._last_time - self.origin) // WEEK_SECONDS)
+        return self._core.current_week
 
     @property
     def started(self) -> bool:
         """Whether the initial training has happened yet."""
-        return self._predictor is not None
+        return self._core.started
 
     @property
     def degraded(self) -> bool:
         """Whether a retraining is currently owed after failures."""
-        return self._pending_retrain_week is not None
+        return self._core.degraded
 
     def history(self) -> EventLog:
         """Everything ingested so far, as an EventLog.
@@ -187,7 +201,7 @@ class OnlinePredictionSession:
         its future retrainings can reach; earlier events are summarized
         by counters (``summary().n_events`` stays exact).
         """
-        return EventLog(self._events, origin=self.origin, _presorted=True)
+        return self._core.history()
 
     def close(self) -> None:
         """Release the executor if this session owns it (idempotent)."""
@@ -202,133 +216,7 @@ class OnlinePredictionSession:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def _boundary_time(self, week: int) -> float:
-        return self.origin + week * WEEK_SECONDS
-
-    # -- retraining ---------------------------------------------------------
-
-    def _retrain(self, week: int) -> None:
-        cfg = self.config
-        history = self.history()
-        w0, w1 = cfg.policy.window(week)
-        train_log = history.slice_weeks(w0, w1)
-
-        with observe.span("online.retrain"):
-            output = self.meta.train(
-                train_log, cfg.prediction_window, week=week
-            )
-            candidates = output.records()
-            candidate_keys = {r.key for r in candidates}
-
-            if cfg.use_reviser:
-                revision = self.reviser.revise(
-                    candidates, train_log, cfg.prediction_window
-                )
-                kept, removed_keys = revision.kept, revision.removed_keys
-                revise_seconds = revision.seconds
-            else:
-                kept, removed_keys = candidates, set()
-                revise_seconds = 0.0
-
-            churn_record = diff_rule_sets(
-                week, self.repository.keys(), candidate_keys, removed_keys
-            )
-            self.repository.replace_all(kept)
-            self.churn.append(churn_record)
-            self.retrains.append(
-                RetrainEvent(
-                    week=week,
-                    train_span=(w0, w1),
-                    n_candidates=len(candidates),
-                    n_kept=len(kept),
-                    churn=churn_record,
-                    generation_seconds=output.seconds,
-                    revise_seconds=revise_seconds,
-                    learner_seconds=dict(output.learner_seconds),
-                )
-            )
-
-            self._predictor = self._make_predictor()
-            # Re-prime the fresh predictor with the last Wp seconds of the
-            # stream: the rule set changed but the system's recent past did
-            # not, so precursors that arrived just before the boundary must
-            # still be able to complete a rule (batch/stream equivalence).
-            boundary = self._boundary_time(week)
-            self._predictor.prime(
-                history.between(boundary - cfg.prediction_window, boundary),
-                now=boundary,
-            )
-
-    def _make_predictor(self) -> Predictor:
-        cfg = self.config
-        return Predictor(
-            self.repository.rules(),
-            window=cfg.prediction_window,
-            catalog=self.catalog,
-            ensemble=cfg.ensemble,
-            dist_horizon_cap=cfg.dist_horizon_cap,
-            rule_weights=self.repository.precision_weights(),
-        )
-
-    def _schedule_after(self, week: int) -> None:
-        if self.config.policy.retrains:
-            self._next_retrain_week = week + self.config.retrain_weeks
-        else:
-            self._next_retrain_week = None  # type: ignore[assignment]
-
-    def _attempt_retrain(self, week: int, now: float) -> None:
-        """One retraining try; in degraded mode a failure is absorbed."""
-        try:
-            self._retrain(week)
-        except Exception as exc:
-            if self.config.on_retrain_error == "raise":
-                raise
-            self._retrain_attempts += 1
-            self.retrain_failures.append(
-                RetrainFailure(
-                    week=week,
-                    error=repr(exc),
-                    error_type=type(exc).__name__,
-                    attempt=self._retrain_attempts,
-                    time=now,
-                )
-            )
-            observe.counter("online.retrain_failures").inc()
-            if self._degraded_since is None:
-                self._degraded_since = now
-            self._retry_at = now + backoff_delay(
-                self._retrain_attempts,
-                self.config.retrain_backoff_base,
-                self.config.retrain_backoff_cap,
-            )
-        else:
-            self._pending_retrain_week = None
-            self._retrain_attempts = 0
-            self._retry_at = float("-inf")
-            if self._degraded_since is not None:
-                observe.counter("online.degraded_seconds").inc(
-                    max(0.0, now - self._degraded_since)
-                )
-                self._degraded_since = None
-
-    def _cross_boundaries(self, t: float) -> None:
-        """Run any retrainings whose boundary the stream has crossed, and
-        any backoff-elapsed retry owed from earlier failures."""
-        while (
-            self._next_retrain_week is not None
-            and t >= self._boundary_time(self._next_retrain_week)
-        ):
-            week = self._next_retrain_week
-            self._schedule_after(week)
-            # The newest crossed boundary supersedes an older owed week:
-            # its training window is the current one.
-            self._pending_retrain_week = week
-            if t >= self._retry_at:
-                self._attempt_retrain(week, t)
-        if self._pending_retrain_week is not None and t >= self._retry_at:
-            self._attempt_retrain(self._pending_retrain_week, t)
-
-    # -- public API ------------------------------------------------------------
+    # -- public API --------------------------------------------------------
 
     def ingest(self, event: RASEvent) -> list[FailureWarning]:
         """Feed one event; returns any warnings it (or the timer) raised.
@@ -341,85 +229,38 @@ class OnlinePredictionSession:
         than the slack are quarantined (counted, kept in
         :attr:`quarantined`, never raised).  Call :meth:`flush` at end of
         stream to drain the buffer.
+
+        Validation happens *here*, before the stack: a rejected event is
+        deliberately never journaled — replaying it would abort recovery
+        with the same error.
         """
         if event.timestamp < self.origin:
             raise ValueError(
                 f"event at {event.timestamp} precedes the session origin "
                 f"{self.origin}"
             )
-        if self._reorder is None and event.timestamp < self._last_time:
+        if self._reordering is None and event.timestamp < self._core.last_time:
             raise ValueError(
                 f"events must arrive in time order "
-                f"({event.timestamp} < {self._last_time})"
+                f"({event.timestamp} < {self._core.last_time})"
             )
-        # Write-ahead: the accepted event becomes durable before any
-        # state changes, so a crash between here and the end of this
-        # call is recovered by replaying the journal record.  Rejected
-        # events (the raises above) are deliberately never journaled —
-        # replaying them would abort recovery with the same error.
-        self._journal_append({"kind": "ingest", "event": event.as_dict()})
+        new = self._stack.ingest(event)
         self.n_ingested += 1
-        if self._reorder is None:
-            return self._ingest_ordered(event)
-
-        ready, dropped = self._reorder.push(event)
-        if dropped:
-            self.n_quarantined += len(dropped)
-            self.quarantined.extend(dropped)
-            observe.counter("online.quarantined").inc(len(dropped))
-        new: list[FailureWarning] = []
-        for e in ready:
-            new.extend(self._ingest_ordered(e))
-        return new
-
-    def _ingest_ordered(self, event: RASEvent) -> list[FailureWarning]:
-        """Process one event known to respect stream order."""
-        self._cross_boundaries(event.timestamp)
-        self._last_time = event.timestamp
-        self._events.append(event)
-        observe.counter("online.events").inc()
-        code = event.entry_data
-        if code in self.catalog and self.catalog.is_fatal_code(code):
-            self._fatal_times.append(event.timestamp)
-            self._fatal_codes.append(code)
-
-        if self._predictor is None:
-            return []
-        with observe.timer("online.ingest"):
-            new = self._predictor.feed(event, tick=self.config.tick)
-        self.warnings.extend(new)
         return new
 
     def flush(self) -> list[FailureWarning]:
         """Drain the reorder buffer (end of stream); returns new warnings."""
-        if self._reorder is None:
+        if self._reordering is None:
             return []
-        self._journal_append({"kind": "flush"})
-        new: list[FailureWarning] = []
-        for e in self._reorder.drain():
-            new.extend(self._ingest_ordered(e))
-        return new
+        return self._stack.flush()
 
     def advance(self, now: float) -> list[FailureWarning]:
         """Move the session clock without an event (idle timer service)."""
-        if now < self._last_time:
-            raise ValueError(f"clock moved backwards: {now} < {self._last_time}")
-        self._journal_append({"kind": "advance", "now": now})
-        new: list[FailureWarning] = []
-        if self._reorder is not None:
-            # The clock overtaking a buffered event forces it out: the
-            # deployment timer observed "now", so nothing before it may
-            # still be pending.
-            for e in self._reorder.release_until(now):
-                new.extend(self._ingest_ordered(e))
-        self._cross_boundaries(now)
-        self._last_time = now
-        if self._predictor is None or self.config.tick is None:
-            return new
-        caught = self._predictor.catch_up(now, self.config.tick)
-        self.warnings.extend(caught)
-        new.extend(caught)
-        return new
+        if now < self._core.last_time:
+            raise ValueError(
+                f"clock moved backwards: {now} < {self._core.last_time}"
+            )
+        return self._stack.advance(now)
 
     def summary(self) -> SessionSummary:
         """Accuracy accounting over the prediction period.
@@ -427,37 +268,9 @@ class OnlinePredictionSession:
         Failures that occurred before predictions started (during the
         initial training period) do not count toward recall.
         """
-        prediction_start = self._boundary_time(self.config.initial_train_weeks)
-        times: list[float] = []
-        codes: list[str] = []
-        for t, c in zip(self._fatal_times, self._fatal_codes):
-            if t >= prediction_start:
-                times.append(t)
-                codes.append(c)
-        matching = match_warnings(
-            self.warnings, np.asarray(times, dtype=np.float64), codes
-        )
-        return SessionSummary(
-            n_events=self._history_dropped + len(self._events),
-            n_fatal=len(times),
-            n_warnings=len(self.warnings),
-            matching=matching,
-            retrains=list(self.retrains),
-            retrain_failures=list(self.retrain_failures),
-            n_quarantined=self.n_quarantined,
-        )
+        return self._core.summary(n_quarantined=self.n_quarantined)
 
-    # -- write-ahead journal ---------------------------------------------------
-
-    @property
-    def journal(self) -> EventJournal | None:
-        """The attached write-ahead journal, if any."""
-        return self._journal
-
-    def _journal_append(self, record: dict) -> None:
-        """Append one input record write-ahead (no-op while replaying)."""
-        if self._journal is not None and not self._replaying:
-            self._journal.append(record)
+    # -- write-ahead journal -----------------------------------------------
 
     def _replay_journal(self, from_position: int) -> int:
         """Re-feed journal records past ``from_position``; returns count.
@@ -467,11 +280,12 @@ class OnlinePredictionSession:
         exactly the state transitions of the pre-crash one — reorder
         buffering, retraining, degraded-mode bookkeeping and all.
         """
-        assert self._journal is not None
-        self._replaying = True
+        assert self._journaling is not None
+        journal = self._journaling.journal
+        self._journaling.suppress = True
         replayed = 0
         try:
-            for _index, record in self._journal.replay(from_position):
+            for _index, record in journal.replay(from_position):
                 kind = record.get("kind")
                 if kind == "ingest":
                     self.ingest(RASEvent.from_dict(record["event"]))
@@ -485,34 +299,12 @@ class OnlinePredictionSession:
                     )
                 replayed += 1
         finally:
-            self._replaying = False
+            self._journaling.suppress = False
         if replayed:
             observe.counter("journal.replayed_events").inc(replayed)
         return replayed
 
-    # -- checkpoint / resume ---------------------------------------------------
-
-    def _history_tail_start(self) -> float:
-        """Earliest event time any future retraining can reach.
-
-        Sliding policies only look back ``length_weeks`` from the next
-        owed retraining (minus one prediction window for predictor
-        priming); growing and static policies need the full history.
-        """
-        wp = self.config.prediction_window
-        owed = [
-            w
-            for w in (self._pending_retrain_week, self._next_retrain_week)
-            if w is not None
-        ]
-        if not owed:
-            return self._last_time - wp
-        policy = self.config.policy
-        if policy.kind != "sliding":
-            return self.origin
-        first = min(owed)
-        w0 = max(0, first - policy.length_weeks)
-        return min(self._boundary_time(w0), self._boundary_time(first) - wp)
+    # -- checkpoint / resume -----------------------------------------------
 
     def checkpoint(self, path: str | Path) -> dict:
         """Serialize the session to ``path`` atomically; returns the payload.
@@ -526,89 +318,89 @@ class OnlinePredictionSession:
         reorder-buffer residue.  Written with temp-file + ``os.replace``
         so a crash mid-write never leaves a torn file.
         """
-        tail_start = self._history_tail_start()
+        core = self._core
+        tail_start = core.history_tail_start()
         times = np.fromiter(
-            (e.timestamp for e in self._events),
+            (e.timestamp for e in core._events),
             dtype=np.float64,
-            count=len(self._events),
+            count=len(core._events),
         )
         lo = int(np.searchsorted(times, tail_start, side="left"))
+        journal = self.journal
         payload = {
             "format": ckpt.CHECKPOINT_FORMAT,
             "version": ckpt.CHECKPOINT_VERSION,
-            "config_digest": ckpt.config_digest(self.config),
-            "config": ckpt.config_to_dict(self.config),
-            "origin": self.origin,
-            "last_time": self._last_time,
+            "config_digest": ckpt.config_digest(core.config),
+            "config": ckpt.config_to_dict(core.config),
+            "origin": core.origin,
+            "last_time": core.last_time,
             "n_ingested": self.n_ingested,
             "history": {
-                "dropped": self._history_dropped + lo,
-                "events": [e.as_dict() for e in self._events[lo:]],
+                "dropped": core._history_dropped + lo,
+                "events": [e.as_dict() for e in core._events[lo:]],
             },
             "fatal": {
-                "times": list(self._fatal_times),
-                "codes": list(self._fatal_codes),
+                "times": list(core._fatal_times),
+                "codes": list(core._fatal_codes),
             },
             "schedule": {
-                "next_retrain_week": self._next_retrain_week,
-                "pending_retrain_week": self._pending_retrain_week,
-                "retrain_attempts": self._retrain_attempts,
+                "next_retrain_week": core._next_retrain_week,
+                "pending_retrain_week": core._pending_retrain_week,
+                "retrain_attempts": core._retrain_attempts,
                 "retry_at": (
-                    None if self._retrain_attempts == 0 else self._retry_at
+                    None if core._retrain_attempts == 0 else core._retry_at
                 ),
-                "degraded_since": self._degraded_since,
+                "degraded_since": core._degraded_since,
             },
             "repository": [
-                ckpt.record_to_dict(r) for r in self.repository.records()
+                ckpt.record_to_dict(r) for r in core.repository.records()
             ],
             "predictor": (
                 None
-                if self._predictor is None
-                else self._predictor.state_snapshot()
+                if core._predictor is None
+                else core._predictor.state_snapshot()
             ),
             "retrains": [
-                ckpt.retrain_event_to_dict(r) for r in self.retrains
+                ckpt.retrain_event_to_dict(r) for r in core.retrains
             ],
             "retrain_failures": [
-                ckpt.failure_to_dict(f) for f in self.retrain_failures
+                ckpt.failure_to_dict(f) for f in core.retrain_failures
             ],
-            "warnings": [ckpt.warning_to_dict(w) for w in self.warnings],
+            "warnings": [ckpt.warning_to_dict(w) for w in core.warnings],
             # Write-ahead-log position this snapshot covers: recovery
             # replays journal records from here on.  None: the session
             # ran without a journal (checkpoint-only durability).
             "journal": (
-                None
-                if self._journal is None
-                else {"position": self._journal.position}
+                None if journal is None else {"position": journal.position}
             ),
             "reorder": (
                 None
-                if self._reorder is None
+                if self._reordering is None
                 else {
                     # -inf (no event seen yet) is not valid JSON; encode
                     # the sentinel as null, mirroring retry_at above.
                     "max_seen": (
                         None
-                        if self._reorder.max_seen == float("-inf")
-                        else self._reorder.max_seen
+                        if self._reordering.buffer.max_seen == float("-inf")
+                        else self._reordering.buffer.max_seen
                     ),
-                    "n_reordered": self._reorder.n_reordered,
+                    "n_reordered": self._reordering.buffer.n_reordered,
                     "buffered": [
-                        e.as_dict() for e in self._reorder.pending()
+                        e.as_dict() for e in self._reordering.buffer.pending()
                     ],
-                    "n_quarantined": self.n_quarantined,
+                    "n_quarantined": self._reordering.n_quarantined,
                     "quarantined_tail": [
-                        e.as_dict() for e in self.quarantined
+                        e.as_dict() for e in self._reordering.quarantined
                     ],
                 }
             ),
         }
         ckpt.atomic_write_json(path, payload)
         observe.counter("online.checkpoints").inc()
-        if self._journal is not None:
+        if journal is not None:
             # Everything below the recorded position is now covered by
             # this checkpoint; whole segments beneath it can go.
-            self._journal.compact(self._journal.position)
+            journal.compact(journal.position)
         return payload
 
     @classmethod
@@ -651,49 +443,51 @@ class OnlinePredictionSession:
             origin=payload["origin"],
             own_executor=own_executor,
         )
-        session._last_time = payload["last_time"]
+        core = session._core
+        core._last_time = payload["last_time"]
         session.n_ingested = payload["n_ingested"]
-        session._history_dropped = payload["history"]["dropped"]
-        session._events = [
+        core._history_dropped = payload["history"]["dropped"]
+        core._events = [
             RASEvent.from_dict(d) for d in payload["history"]["events"]
         ]
-        session._fatal_times = list(payload["fatal"]["times"])
-        session._fatal_codes = list(payload["fatal"]["codes"])
+        core._fatal_times = list(payload["fatal"]["times"])
+        core._fatal_codes = list(payload["fatal"]["codes"])
 
         schedule = payload["schedule"]
-        session._next_retrain_week = schedule["next_retrain_week"]
-        session._pending_retrain_week = schedule["pending_retrain_week"]
-        session._retrain_attempts = schedule["retrain_attempts"]
-        session._retry_at = (
+        core._next_retrain_week = schedule["next_retrain_week"]
+        core._pending_retrain_week = schedule["pending_retrain_week"]
+        core._retrain_attempts = schedule["retrain_attempts"]
+        core._retry_at = (
             float("-inf")
             if schedule["retry_at"] is None
             else schedule["retry_at"]
         )
-        session._degraded_since = schedule["degraded_since"]
+        core._degraded_since = schedule["degraded_since"]
 
-        session.repository = KnowledgeRepository(
+        core.repository = KnowledgeRepository(
             ckpt.record_from_dict(d) for d in payload["repository"]
         )
         if payload["predictor"] is not None:
-            predictor = session._make_predictor()
+            predictor = core.make_predictor()
             predictor.restore_state(payload["predictor"])
-            session._predictor = predictor
-        session.retrains = [
+            core._predictor = predictor
+        core.retrains = [
             ckpt.retrain_event_from_dict(d) for d in payload["retrains"]
         ]
-        session.churn = ChurnHistory()
-        for event in session.retrains:
-            session.churn.append(event.churn)
-        session.retrain_failures = [
+        core.churn = ChurnHistory()
+        for event in core.retrains:
+            core.churn.append(event.churn)
+        core.retrain_failures = [
             ckpt.failure_from_dict(d) for d in payload["retrain_failures"]
         ]
-        session.warnings = [
+        core.warnings = [
             ckpt.warning_from_dict(d) for d in payload["warnings"]
         ]
 
         reorder = payload["reorder"]
-        if reorder is not None and session._reorder is not None:
-            session._reorder.max_seen = (
+        if reorder is not None and session._reordering is not None:
+            buffer = session._reordering.buffer
+            buffer.max_seen = (
                 float("-inf")
                 if reorder["max_seen"] is None
                 else reorder["max_seen"]
@@ -701,16 +495,19 @@ class OnlinePredictionSession:
             for d in reorder["buffered"]:
                 # Re-pushing in release order preserves tie-breaking; all
                 # were inside the slack window, so none release or drop.
-                session._reorder.push(RASEvent.from_dict(d))
-            session._reorder.n_reordered = reorder["n_reordered"]
-            session.n_quarantined = reorder["n_quarantined"]
-            session._reorder.n_quarantined = reorder["n_quarantined"]
-            session.quarantined.extend(
+                buffer.push(RASEvent.from_dict(d))
+            buffer.n_reordered = reorder["n_reordered"]
+            buffer.n_quarantined = reorder["n_quarantined"]
+            session._reordering.n_quarantined = reorder["n_quarantined"]
+            session._reordering.quarantined.extend(
                 RASEvent.from_dict(d) for d in reorder["quarantined_tail"]
             )
         observe.counter("online.resumes").inc()
         if journal is not None:
-            session._journal = journal
+            session._journaling = JournalingSession(
+                session._reordering or session._core, journal
+            )
+            session._stack = session._journaling
             recorded = payload.get("journal")
             # A v1 checkpoint (or one written journal-less) recorded no
             # position; replaying from 0 is only sound if the journal

@@ -1,0 +1,407 @@
+"""Pure streaming session core: the prediction state machine, no I/O.
+
+:class:`SessionCore` is the event-at-a-time heart of the online path —
+windowing, retrain scheduling, degraded-mode bookkeeping, and the
+predictor feed — extracted from the monolithic
+``OnlinePredictionSession`` so durability and delivery concerns compose
+*around* it instead of being welded into it:
+
+* :class:`~repro.resilience.wrappers.ReorderingSession` re-sequences
+  late events through a bounded buffer before they reach the core;
+* :class:`~repro.resilience.wrappers.JournalingSession` appends every
+  accepted input to a write-ahead log before delegating;
+* :class:`~repro.observe.wrappers.MeteredSession` records labeled
+  throughput/latency/degraded-state metrics around any layer.
+
+Every layer implements the same three-method :class:`StreamSession`
+protocol (``ingest`` / ``advance`` / ``flush``), so stacks are built by
+plain composition — ``JournalingSession(ReorderingSession(core))`` — and
+a fleet-level service can wrap N cores without any of them knowing.
+
+The core itself performs no durable I/O: it owns no files, no journal,
+no checkpoint format.  (It *does* record process-local metrics through
+:mod:`repro.observe` and may train through an executor — neither touches
+disk.)  Checkpoint serialization lives with the
+``OnlinePredictionSession`` facade, which reads the core's state through
+:meth:`state`-style accessors rather than pickling it blind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro import observe
+from repro.alerts import FailureWarning
+from repro.core.framework import FrameworkConfig, RetrainEvent
+from repro.core.knowledge import KnowledgeRepository
+from repro.core.meta import MetaLearner
+from repro.core.predictor import Predictor
+from repro.core.reviser import Reviser
+from repro.core.tracking import ChurnHistory, diff_rule_sets
+from repro.evaluation.matching import MatchResult, match_warnings
+from repro.parallel.executor import Executor
+from repro.raslog.catalog import EventCatalog, default_catalog
+from repro.raslog.events import RASEvent
+from repro.raslog.store import EventLog
+from repro.resilience.degrade import RetrainFailure, backoff_delay
+from repro.utils.timeutil import WEEK_SECONDS
+
+
+@runtime_checkable
+class StreamSession(Protocol):
+    """The composable session surface every layer implements."""
+
+    def ingest(self, event: RASEvent) -> list[FailureWarning]: ...
+
+    def advance(self, now: float) -> list[FailureWarning]: ...
+
+    def flush(self) -> list[FailureWarning]: ...
+
+
+@dataclass
+class SessionSummary:
+    """Accounting of a finished (or in-flight) session.
+
+    ``precision``/``recall`` follow the paper's Section 5.1 formulas
+    (true positives are correct *predictions*, false negatives are missed
+    *failures*), matching
+    :attr:`repro.core.framework.RunResult.overall`; the full
+    :class:`MatchResult` is attached for coverage-based analysis.
+    """
+
+    n_events: int
+    n_fatal: int
+    n_warnings: int
+    matching: MatchResult
+    retrains: list[RetrainEvent] = field(default_factory=list)
+    retrain_failures: list[RetrainFailure] = field(default_factory=list)
+    n_quarantined: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.matching.true_positives + self.matching.false_positives
+        return self.matching.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.matching.true_positives + self.matching.false_negatives
+        return self.matching.true_positives / denom if denom else 0.0
+
+
+class SessionCore:
+    """Ordered event-at-a-time prediction state machine.
+
+    ``origin`` anchors week arithmetic (events must not precede it).
+    Predictions start once ``config.initial_train_weeks`` of data have
+    streamed in; before that, :meth:`ingest` buffers silently.  Events
+    must arrive in time order — tolerance for disorder is a wrapper's
+    job (:class:`~repro.resilience.wrappers.ReorderingSession`).
+    """
+
+    def __init__(
+        self,
+        config: FrameworkConfig | None = None,
+        catalog: EventCatalog | None = None,
+        executor: Executor | None = None,
+        origin: float = 0.0,
+    ) -> None:
+        self.config = config or FrameworkConfig()
+        self.catalog = catalog or default_catalog()
+        self.origin = float(origin)
+        self.meta = MetaLearner(
+            learners=self.config.learners,
+            catalog=self.catalog,
+            executor=executor,
+            learner_params=self.config.learner_params,
+        )
+        self.reviser = Reviser(
+            min_roc=self.config.min_roc,
+            catalog=self.catalog,
+            tick=self.config.tick,
+            dist_horizon_cap=self.config.dist_horizon_cap,
+        )
+        self.repository = KnowledgeRepository()
+        self.churn = ChurnHistory()
+        self.retrains: list[RetrainEvent] = []
+        self.warnings: list[FailureWarning] = []
+        #: failed retraining attempts (degraded mode only)
+        self.retrain_failures: list[RetrainFailure] = []
+
+        self._events: list[RASEvent] = []
+        self._fatal_times: list[float] = []
+        self._fatal_codes: list[str] = []
+        self._last_time = self.origin
+        self._predictor: Predictor | None = None
+        #: week number of the next scheduled retraining
+        self._next_retrain_week = self.config.initial_train_weeks
+        #: week still owed a successful retraining (degraded mode)
+        self._pending_retrain_week: int | None = None
+        #: consecutive retrain failures since the last success
+        self._retrain_attempts = 0
+        #: stream time before which no retry may run
+        self._retry_at = float("-inf")
+        #: stream time at which the current degraded stretch began
+        self._degraded_since: float | None = None
+        #: events dropped from the head of ``_events`` by a tail resume
+        self._history_dropped = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def current_week(self) -> int:
+        return int((self._last_time - self.origin) // WEEK_SECONDS)
+
+    @property
+    def started(self) -> bool:
+        """Whether the initial training has happened yet."""
+        return self._predictor is not None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a retraining is currently owed after failures."""
+        return self._pending_retrain_week is not None
+
+    @property
+    def last_time(self) -> float:
+        """The stream clock: timestamp of the newest observed instant."""
+        return self._last_time
+
+    def history(self) -> EventLog:
+        """Everything ingested so far, as an EventLog.
+
+        A core restored from a tail checkpoint only retains the tail its
+        future retrainings can reach; earlier events are summarized by
+        counters (``summary().n_events`` stays exact).
+        """
+        return EventLog(self._events, origin=self.origin, _presorted=True)
+
+    def _boundary_time(self, week: int) -> float:
+        return self.origin + week * WEEK_SECONDS
+
+    # -- retraining ---------------------------------------------------------
+
+    def _retrain(self, week: int) -> None:
+        cfg = self.config
+        history = self.history()
+        w0, w1 = cfg.policy.window(week)
+        train_log = history.slice_weeks(w0, w1)
+
+        with observe.span("online.retrain"):
+            output = self.meta.train(
+                train_log, cfg.prediction_window, week=week
+            )
+            candidates = output.records()
+            candidate_keys = {r.key for r in candidates}
+
+            if cfg.use_reviser:
+                revision = self.reviser.revise(
+                    candidates, train_log, cfg.prediction_window
+                )
+                kept, removed_keys = revision.kept, revision.removed_keys
+                revise_seconds = revision.seconds
+            else:
+                kept, removed_keys = candidates, set()
+                revise_seconds = 0.0
+
+            churn_record = diff_rule_sets(
+                week, self.repository.keys(), candidate_keys, removed_keys
+            )
+            self.repository.replace_all(kept)
+            self.churn.append(churn_record)
+            self.retrains.append(
+                RetrainEvent(
+                    week=week,
+                    train_span=(w0, w1),
+                    n_candidates=len(candidates),
+                    n_kept=len(kept),
+                    churn=churn_record,
+                    generation_seconds=output.seconds,
+                    revise_seconds=revise_seconds,
+                    learner_seconds=dict(output.learner_seconds),
+                )
+            )
+
+            self._predictor = self.make_predictor()
+            # Re-prime the fresh predictor with the last Wp seconds of the
+            # stream: the rule set changed but the system's recent past did
+            # not, so precursors that arrived just before the boundary must
+            # still be able to complete a rule (batch/stream equivalence).
+            boundary = self._boundary_time(week)
+            self._predictor.prime(
+                history.between(boundary - cfg.prediction_window, boundary),
+                now=boundary,
+            )
+
+    def make_predictor(self) -> Predictor:
+        """A fresh predictor over the current rule repository."""
+        cfg = self.config
+        return Predictor(
+            self.repository.rules(),
+            window=cfg.prediction_window,
+            catalog=self.catalog,
+            ensemble=cfg.ensemble,
+            dist_horizon_cap=cfg.dist_horizon_cap,
+            rule_weights=self.repository.precision_weights(),
+        )
+
+    def _schedule_after(self, week: int) -> None:
+        if self.config.policy.retrains:
+            self._next_retrain_week = week + self.config.retrain_weeks
+        else:
+            self._next_retrain_week = None  # type: ignore[assignment]
+
+    def _attempt_retrain(self, week: int, now: float) -> None:
+        """One retraining try; in degraded mode a failure is absorbed."""
+        try:
+            self._retrain(week)
+        except Exception as exc:
+            if self.config.on_retrain_error == "raise":
+                raise
+            self._retrain_attempts += 1
+            self.retrain_failures.append(
+                RetrainFailure(
+                    week=week,
+                    error=repr(exc),
+                    error_type=type(exc).__name__,
+                    attempt=self._retrain_attempts,
+                    time=now,
+                )
+            )
+            observe.counter("online.retrain_failures").inc()
+            if self._degraded_since is None:
+                self._degraded_since = now
+            self._retry_at = now + backoff_delay(
+                self._retrain_attempts,
+                self.config.retrain_backoff_base,
+                self.config.retrain_backoff_cap,
+            )
+        else:
+            self._pending_retrain_week = None
+            self._retrain_attempts = 0
+            self._retry_at = float("-inf")
+            if self._degraded_since is not None:
+                observe.counter("online.degraded_seconds").inc(
+                    max(0.0, now - self._degraded_since)
+                )
+                self._degraded_since = None
+
+    def _cross_boundaries(self, t: float) -> None:
+        """Run any retrainings whose boundary the stream has crossed, and
+        any backoff-elapsed retry owed from earlier failures."""
+        while (
+            self._next_retrain_week is not None
+            and t >= self._boundary_time(self._next_retrain_week)
+        ):
+            week = self._next_retrain_week
+            self._schedule_after(week)
+            # The newest crossed boundary supersedes an older owed week:
+            # its training window is the current one.
+            self._pending_retrain_week = week
+            if t >= self._retry_at:
+                self._attempt_retrain(week, t)
+        if self._pending_retrain_week is not None and t >= self._retry_at:
+            self._attempt_retrain(self._pending_retrain_week, t)
+
+    # -- StreamSession surface ---------------------------------------------
+
+    def ingest(self, event: RASEvent) -> list[FailureWarning]:
+        """Feed one in-order event; returns any warnings it raised."""
+        if event.timestamp < self.origin:
+            raise ValueError(
+                f"event at {event.timestamp} precedes the session origin "
+                f"{self.origin}"
+            )
+        if event.timestamp < self._last_time:
+            raise ValueError(
+                f"events must arrive in time order "
+                f"({event.timestamp} < {self._last_time})"
+            )
+        self._cross_boundaries(event.timestamp)
+        self._last_time = event.timestamp
+        self._events.append(event)
+        observe.counter("online.events").inc()
+        code = event.entry_data
+        if code in self.catalog and self.catalog.is_fatal_code(code):
+            self._fatal_times.append(event.timestamp)
+            self._fatal_codes.append(code)
+
+        if self._predictor is None:
+            return []
+        with observe.timer("online.ingest"):
+            new = self._predictor.feed(event, tick=self.config.tick)
+        self.warnings.extend(new)
+        return new
+
+    def advance(self, now: float) -> list[FailureWarning]:
+        """Move the session clock without an event (idle timer service)."""
+        if now < self._last_time:
+            raise ValueError(
+                f"clock moved backwards: {now} < {self._last_time}"
+            )
+        self._cross_boundaries(now)
+        self._last_time = now
+        if self._predictor is None or self.config.tick is None:
+            return []
+        caught = self._predictor.catch_up(now, self.config.tick)
+        self.warnings.extend(caught)
+        return caught
+
+    def flush(self) -> list[FailureWarning]:
+        """End of stream; the pure core holds nothing back."""
+        return []
+
+    # -- accounting ---------------------------------------------------------
+
+    def summary(self, n_quarantined: int = 0) -> SessionSummary:
+        """Accuracy accounting over the prediction period.
+
+        Failures that occurred before predictions started (during the
+        initial training period) do not count toward recall.
+        """
+        prediction_start = self._boundary_time(self.config.initial_train_weeks)
+        times: list[float] = []
+        codes: list[str] = []
+        for t, c in zip(self._fatal_times, self._fatal_codes):
+            if t >= prediction_start:
+                times.append(t)
+                codes.append(c)
+        matching = match_warnings(
+            self.warnings, np.asarray(times, dtype=np.float64), codes
+        )
+        return SessionSummary(
+            n_events=self._history_dropped + len(self._events),
+            n_fatal=len(times),
+            n_warnings=len(self.warnings),
+            matching=matching,
+            retrains=list(self.retrains),
+            retrain_failures=list(self.retrain_failures),
+            n_quarantined=n_quarantined,
+        )
+
+    def history_tail_start(self) -> float:
+        """Earliest event time any future retraining can reach.
+
+        Sliding policies only look back ``length_weeks`` from the next
+        owed retraining (minus one prediction window for predictor
+        priming); growing and static policies need the full history.
+        """
+        wp = self.config.prediction_window
+        owed = [
+            w
+            for w in (self._pending_retrain_week, self._next_retrain_week)
+            if w is not None
+        ]
+        if not owed:
+            return self._last_time - wp
+        policy = self.config.policy
+        if policy.kind != "sliding":
+            return self.origin
+        first = min(owed)
+        w0 = max(0, first - policy.length_weeks)
+        return min(self._boundary_time(w0), self._boundary_time(first) - wp)
+
+
+__all__ = ["SessionCore", "SessionSummary", "StreamSession"]

@@ -82,6 +82,29 @@ class JournalFault:
             raise ValueError(f"unknown journal fault mode {self.mode!r}")
 
 
+@dataclass(frozen=True, slots=True)
+class ShardKill:
+    """Kill one fleet shard when its ``at_count``-th event is routed to it.
+
+    The hook fires in :meth:`repro.service.PredictionService.ingest`
+    *before* the event reaches the shard's session stack, so the killed
+    event was never journaled — exactly the semantics of a process dying
+    between receiving an input and accepting it: the event was never
+    durable and its source must re-deliver it.  The service marks the
+    shard down (its journal is closed, later events for it raise
+    ``ShardDown``) while every other shard keeps serving.
+    """
+
+    shard: str
+    at_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_count < 1:
+            raise ValueError(
+                f"at_count must be a positive ordinal, got {self.at_count}"
+            )
+
+
 @dataclass
 class FaultPlan:
     """A deterministic schedule of infrastructure misbehaviour.
@@ -94,6 +117,7 @@ class FaultPlan:
     learner_crashes: list[LearnerCrash] = field(default_factory=list)
     pool_breaks: list[PoolBreak] = field(default_factory=list)
     journal_faults: list[JournalFault] = field(default_factory=list)
+    shard_kills: list[ShardKill] = field(default_factory=list)
 
     #: retrain attempts observed so far, per week
     train_attempts: dict[int, int] = field(default_factory=dict)
@@ -131,6 +155,27 @@ class FaultPlan:
             raise BrokenProcessPool(
                 f"injected pool break #{self.pool_breaks_done} "
                 f"on {type(executor).__name__}"
+            )
+
+    def on_shard_event(self, shard: str, count: int) -> None:
+        """Hook: called by ``PredictionService.ingest`` before delegating.
+
+        ``count`` is the ordinal of this event among those routed to
+        ``shard`` in this process.  A matching :class:`ShardKill` fires
+        exactly once (re-delivery after recovery sees a higher ordinal
+        and the ``injected`` guard, so the shard is not re-killed).
+        """
+        for kill in self.shard_kills:
+            record = f"shard:{shard}:{kill.at_count}"
+            if (
+                kill.shard != shard
+                or count != kill.at_count
+                or record in self.injected
+            ):
+                continue
+            self.injected.append(record)
+            raise FaultInjected(
+                f"injected shard kill on {shard!r} at routed event {count}"
             )
 
     def on_journal_append(
@@ -191,6 +236,7 @@ __all__ = [
     "JournalFault",
     "LearnerCrash",
     "PoolBreak",
+    "ShardKill",
     "active",
     "corrupt_lines",
     "install",

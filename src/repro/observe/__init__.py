@@ -20,6 +20,7 @@ so instrumentation needs no constructor plumbing::
     print(sp.seconds)
 
     observe.counter("online.events").inc()
+    observe.counter("service.events", shard="R01-M0").inc()  # labeled series
     print(observe.get_registry().to_json(indent=2))
 
 Instruments are cheap (a lock plus O(1) reservoir updates), so it is
@@ -35,6 +36,8 @@ from repro.observe.registry import (
     gauge,
     get_registry,
     histogram,
+    labels_key,
+    render_name,
     set_registry,
     span,
     timer,
@@ -51,6 +54,8 @@ __all__ = [
     "gauge",
     "get_registry",
     "histogram",
+    "labels_key",
+    "render_name",
     "set_registry",
     "span",
     "timer",

@@ -1,10 +1,22 @@
-"""Metric registry, span timing, and the swappable process default.
+"""Metric registry, span timing, labels, and the swappable process default.
 
 A :class:`MetricsRegistry` is a namespace of instruments created on
-first use (``registry.counter("online.events")``).  Durations are
-recorded with :meth:`MetricsRegistry.span` — a re-usable context manager
-that feeds a histogram of the same name and exposes ``.seconds`` for
-callers that also need the value (e.g. to fill ``RetrainEvent`` fields).
+first use (``registry.counter("online.events")``).  Instruments may
+carry **labels** — ``registry.counter("service.events", shard="R01")``
+— which create one independent time series per label set under the same
+metric name, rendered Prometheus-style as
+``service.events{shard="R01"}``.  Unlabeled instruments keep their bare
+name, so snapshots of label-free workloads are byte-identical to the
+pre-label format (backward-compatible flat snapshots).
+
+Durations are recorded with :meth:`MetricsRegistry.span` — a re-usable
+context manager that feeds a histogram of the same name and exposes
+``.seconds`` for callers that also need the value (e.g. to fill
+``RetrainEvent`` fields).
+
+Snapshots are deterministic: series are ordered by metric name, then by
+sorted label set, so two runs of the same workload export identical
+JSON and benchmark diffs stay stable.
 
 Instrumented library code records through :func:`get_registry`, the
 current process-wide default; entry points that want an isolated view
@@ -21,6 +33,25 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.observe.metrics import Counter, Gauge, Histogram
+
+#: Canonical, hashable form of a label set: sorted (key, value) pairs.
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def labels_key(labels: dict[str, object]) -> LabelSet:
+    """Canonicalize ``labels``: values stringified, keys sorted."""
+    for key in labels:
+        if not key:
+            raise ValueError("label names must be non-empty")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_name(name: str, labels: LabelSet = ()) -> str:
+    """Rendered series name: ``name`` or ``name{k="v",...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
 
 
 class Span:
@@ -47,60 +78,91 @@ class Span:
 
 
 class MetricsRegistry:
-    """Named instruments, created on first use."""
+    """Named (and optionally labeled) instruments, created on first use."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[
+            tuple[str, LabelSet], Counter | Gauge | Histogram
+        ] = {}
 
-    def _get_or_create(self, name: str, cls):
+    def _get_or_create(self, name: str, cls, labels: dict[str, object]):
         if not name:
             raise ValueError("instrument name must be non-empty")
+        key = (name, labels_key(labels))
         with self._lock:
-            instrument = self._instruments.get(name)
+            instrument = self._instruments.get(key)
             if instrument is None:
-                instrument = cls(name)
-                self._instruments[name] = instrument
+                instrument = cls(render_name(*key))
+                self._instruments[key] = instrument
             elif not isinstance(instrument, cls):
                 raise TypeError(
-                    f"metric {name!r} is a {type(instrument).__name__}, "
-                    f"not a {cls.__name__}"
+                    f"metric {render_name(*key)!r} is a "
+                    f"{type(instrument).__name__}, not a {cls.__name__}"
                 )
             return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter)
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get_or_create(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge)
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get_or_create(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get_or_create(name, Histogram)
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get_or_create(name, Histogram, labels)
 
-    def span(self, name: str) -> Span:
+    def span(self, name: str, **labels: object) -> Span:
         """Context manager timing a block into histogram ``name``."""
-        return Span(name, self.histogram(name))
+        return Span(name, self.histogram(name, **labels))
 
     #: ``timer`` reads better at call sites that ignore ``.seconds``.
     timer = span
 
-    def names(self) -> list[str]:
+    def _sorted_items(self):
         with self._lock:
-            return sorted(self._instruments)
+            return sorted(self._instruments.items())
+
+    def names(self) -> list[str]:
+        """Rendered series names, ordered by (name, label set)."""
+        return [render_name(*key) for key, _ in self._sorted_items()]
+
+    def series(
+        self, name: str
+    ) -> list[tuple[dict[str, str], Counter | Gauge | Histogram]]:
+        """All label sets recorded under ``name``, in label-set order."""
+        return [
+            (dict(labels), inst)
+            for (base, labels), inst in self._sorted_items()
+            if base == name
+        ]
 
     def __contains__(self, name: str) -> bool:
         with self._lock:
-            return name in self._instruments
+            keys = list(self._instruments)
+        return any(
+            name == base or name == render_name(base, labels)
+            for base, labels in keys
+        )
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._instruments)
 
     def snapshot(self) -> dict[str, dict]:
-        """All instruments as a JSON-ready ``{name: summary}`` mapping."""
-        with self._lock:
-            instruments = sorted(self._instruments.items())
-        return {name: inst.snapshot() for name, inst in instruments}
+        """All series as a JSON-ready ``{rendered name: summary}`` mapping.
+
+        Deterministically ordered by metric name, then label set.
+        Unlabeled instruments keep the flat pre-label summary shape;
+        labeled series additionally carry a ``"labels"`` mapping so
+        consumers need not parse the rendered name.
+        """
+        out: dict[str, dict] = {}
+        for (base, labels), inst in self._sorted_items():
+            summary = inst.snapshot()
+            if labels:
+                summary["labels"] = dict(labels)
+            out[render_name(base, labels)] = summary
+        return out
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
@@ -139,21 +201,21 @@ def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
         set_registry(previous)
 
 
-def counter(name: str) -> Counter:
-    return get_registry().counter(name)
+def counter(name: str, **labels: object) -> Counter:
+    return get_registry().counter(name, **labels)
 
 
-def gauge(name: str) -> Gauge:
-    return get_registry().gauge(name)
+def gauge(name: str, **labels: object) -> Gauge:
+    return get_registry().gauge(name, **labels)
 
 
-def histogram(name: str) -> Histogram:
-    return get_registry().histogram(name)
+def histogram(name: str, **labels: object) -> Histogram:
+    return get_registry().histogram(name, **labels)
 
 
-def span(name: str) -> Span:
-    return get_registry().span(name)
+def span(name: str, **labels: object) -> Span:
+    return get_registry().span(name, **labels)
 
 
-def timer(name: str) -> Span:
-    return get_registry().timer(name)
+def timer(name: str, **labels: object) -> Span:
+    return get_registry().timer(name, **labels)

@@ -1,0 +1,83 @@
+"""Metrics as a composable session layer.
+
+:class:`MeteredSession` wraps any
+:class:`~repro.core.session.StreamSession` layer and records labeled
+instruments around it — per-call latency histograms, event/warning
+counters, and a degraded-state gauge — without the wrapped layer knowing
+it is being observed.  The fleet service wraps each shard's stack with
+``MeteredSession(stack, shard=key)``, which is what makes per-shard
+throughput visible in ``repro metrics`` output and benchmark JSON::
+
+    service.ingest{shard="R01-M0-N04"}   # latency histogram
+    service.events{shard="R01-M0-N04"}   # ingested-event counter
+    service.degraded{shard="R01-M0-N04"} # 1.0 while retraining is owed
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro import observe
+
+if TYPE_CHECKING:
+    from repro.alerts import FailureWarning
+    from repro.core.session import StreamSession
+    from repro.raslog.events import RASEvent
+
+
+class MeteredSession:
+    """Record labeled throughput/latency/degraded metrics around a layer.
+
+    ``prefix`` namespaces the instruments (default ``"session"``);
+    ``labels`` become metric labels on every instrument, e.g.
+    ``MeteredSession(stack, prefix="service", shard="R00")`` records
+    ``service.events{shard="R00"}``.  ``degraded_of`` optionally names an
+    object whose ``degraded`` attribute is mirrored into a gauge after
+    every call (defaults to the wrapped layer itself).
+    """
+
+    def __init__(
+        self,
+        inner: "StreamSession",
+        prefix: str = "session",
+        degraded_of: object | None = None,
+        **labels: object,
+    ) -> None:
+        self.inner = inner
+        self.prefix = prefix
+        self.labels = labels
+        self._degraded_of = degraded_of if degraded_of is not None else inner
+
+    def _record(self, new: "list[FailureWarning]", n_events: int) -> None:
+        if n_events:
+            observe.counter(f"{self.prefix}.events", **self.labels).inc(
+                n_events
+            )
+        if new:
+            observe.counter(f"{self.prefix}.warnings", **self.labels).inc(
+                len(new)
+            )
+        degraded = getattr(self._degraded_of, "degraded", None)
+        if degraded is not None:
+            observe.gauge(f"{self.prefix}.degraded", **self.labels).set(
+                1.0 if degraded else 0.0
+            )
+
+    def ingest(self, event: "RASEvent") -> "list[FailureWarning]":
+        with observe.timer(f"{self.prefix}.ingest", **self.labels):
+            new = self.inner.ingest(event)
+        self._record(new, 1)
+        return new
+
+    def advance(self, now: float) -> "list[FailureWarning]":
+        new = self.inner.advance(now)
+        self._record(new, 0)
+        return new
+
+    def flush(self) -> "list[FailureWarning]":
+        new = self.inner.flush()
+        self._record(new, 0)
+        return new
+
+
+__all__ = ["MeteredSession"]

@@ -43,6 +43,11 @@ from repro.resilience.journal import (
     parse_fsync_policy,
 )
 from repro.resilience.reorder import ReorderBuffer
+from repro.resilience.wrappers import (
+    QUARANTINE_KEEP,
+    JournalingSession,
+    ReorderingSession,
+)
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -52,7 +57,10 @@ __all__ = [
     "EventJournal",
     "JournalCorruption",
     "JournalError",
+    "JournalingSession",
+    "QUARANTINE_KEEP",
     "ReorderBuffer",
+    "ReorderingSession",
     "RetrainFailure",
     "atomic_write_json",
     "backoff_delay",

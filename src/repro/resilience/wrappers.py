@@ -1,0 +1,124 @@
+"""Composable durability/delivery wrappers around a session core.
+
+Each wrapper implements the same three-method
+:class:`~repro.core.session.StreamSession` protocol it wraps, so layers
+stack by plain composition::
+
+    core  = SessionCore(config, catalog)
+    stack = JournalingSession(ReorderingSession(core, slack), journal)
+
+* :class:`ReorderingSession` re-sequences out-of-order events through a
+  bounded :class:`~repro.resilience.reorder.ReorderBuffer` and
+  quarantines anything later than the slack, so the inner layer only
+  ever sees an ordered stream;
+* :class:`JournalingSession` appends every accepted input to an
+  :class:`~repro.resilience.journal.EventJournal` *before* delegating,
+  giving the stack write-ahead durability; replay sets ``suppress`` so
+  re-fed records are not journaled twice.
+
+Input *validation* (origin/order checks that must reject an event before
+it is journaled) is the responsibility of whoever owns the stack — the
+``OnlinePredictionSession`` facade — because a rejected event must never
+reach the write-ahead log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro import observe
+from repro.raslog.events import RASEvent
+from repro.resilience.journal import EventJournal
+from repro.resilience.reorder import ReorderBuffer
+
+if TYPE_CHECKING:
+    from repro.alerts import FailureWarning
+    from repro.core.session import StreamSession
+
+#: How many quarantined (too-late) events are kept for inspection.
+QUARANTINE_KEEP = 100
+
+
+class ReorderingSession:
+    """Bounded re-sequencing of late events in front of an ordered core.
+
+    Events within ``slack`` seconds of the newest seen are buffered and
+    released in time order; later ones are quarantined (counted, kept in
+    :attr:`quarantined`, never raised).  :meth:`advance` forces out
+    anything the observed clock has overtaken before delegating, and
+    :meth:`flush` drains the buffer at end of stream.
+    """
+
+    def __init__(self, inner: "StreamSession", slack: float) -> None:
+        if slack <= 0:
+            raise ValueError(f"reorder slack must be positive, got {slack}")
+        self.inner = inner
+        self.buffer = ReorderBuffer(slack)
+        #: most recent events dropped as later than the slack
+        self.quarantined: deque[RASEvent] = deque(maxlen=QUARANTINE_KEEP)
+        self.n_quarantined = 0
+
+    def ingest(self, event: RASEvent) -> "list[FailureWarning]":
+        ready, dropped = self.buffer.push(event)
+        if dropped:
+            self.n_quarantined += len(dropped)
+            self.quarantined.extend(dropped)
+            observe.counter("online.quarantined").inc(len(dropped))
+        new: "list[FailureWarning]" = []
+        for e in ready:
+            new.extend(self.inner.ingest(e))
+        return new
+
+    def advance(self, now: float) -> "list[FailureWarning]":
+        # The clock overtaking a buffered event forces it out: the
+        # deployment timer observed "now", so nothing before it may
+        # still be pending.
+        new: "list[FailureWarning]" = []
+        for e in self.buffer.release_until(now):
+            new.extend(self.inner.ingest(e))
+        new.extend(self.inner.advance(now))
+        return new
+
+    def flush(self) -> "list[FailureWarning]":
+        new: "list[FailureWarning]" = []
+        for e in self.buffer.drain():
+            new.extend(self.inner.ingest(e))
+        new.extend(self.inner.flush())
+        return new
+
+
+class JournalingSession:
+    """Write-ahead journaling in front of any session layer.
+
+    Every input is appended to the journal *before* the inner layer may
+    change state, so a crash mid-call is recovered by replaying the
+    journal record.  During recovery the replayer sets :attr:`suppress`
+    while re-feeding records through the stack, so replayed inputs are
+    not appended a second time.
+    """
+
+    def __init__(self, inner: "StreamSession", journal: EventJournal) -> None:
+        self.inner = inner
+        self.journal = journal
+        #: True while recovery replays records through this stack
+        self.suppress = False
+
+    def _append(self, record: dict) -> None:
+        if not self.suppress:
+            self.journal.append(record)
+
+    def ingest(self, event: RASEvent) -> "list[FailureWarning]":
+        self._append({"kind": "ingest", "event": event.as_dict()})
+        return self.inner.ingest(event)
+
+    def advance(self, now: float) -> "list[FailureWarning]":
+        self._append({"kind": "advance", "now": now})
+        return self.inner.advance(now)
+
+    def flush(self) -> "list[FailureWarning]":
+        self._append({"kind": "flush"})
+        return self.inner.flush()
+
+
+__all__ = ["JournalingSession", "QUARANTINE_KEEP", "ReorderingSession"]

@@ -1,0 +1,42 @@
+"""Multi-stream prediction service: shard the online pipeline by location.
+
+One process, N independent prediction streams.  The service routes each
+RAS event to a shard by a partition key (:mod:`repro.service.partition`),
+runs one layered session stack per shard over a shared executor pool, and
+owns a fleet-level checkpoint/journal directory so the whole fleet
+recovers crash-consistently (:mod:`repro.service.service`)::
+
+    from repro.service import PredictionService
+
+    with PredictionService(config, fleet_dir="fleet") as service:
+        for event in log:
+            warnings.extend(service.ingest(event))
+        warnings.extend(service.flush())
+        service.checkpoint()
+    # later, after a crash:
+    service = PredictionService.recover("fleet")
+"""
+
+from repro.service.partition import (
+    HashRouter,
+    LocationRouter,
+    Router,
+    make_router,
+    router_from_spec,
+)
+from repro.service.service import (
+    FleetSummary,
+    PredictionService,
+    ShardDown,
+)
+
+__all__ = [
+    "FleetSummary",
+    "HashRouter",
+    "LocationRouter",
+    "PredictionService",
+    "Router",
+    "ShardDown",
+    "make_router",
+    "router_from_spec",
+]

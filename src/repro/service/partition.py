@@ -1,0 +1,92 @@
+"""Partition keys: how the fleet routes one event stream to N shards.
+
+The paper's framing is already per-stream — RAS events carry a
+``location`` (Blue Gene midplane/node naming), spatial filtering is
+per-location, and Algorithm 2 re-arms independently per stream — so the
+natural fleet partition key is the event's location.  Two routers cover
+the deployment shapes:
+
+* :class:`LocationRouter` — one shard per distinct location, created
+  lazily as locations appear (per-machine monitors, DC-Prophet style);
+* :class:`HashRouter` — ``crc32(location) % n`` into a fixed shard
+  count, for fleets with more locations than affordable sessions.
+
+Routing must be a pure function of the event (no clock, no RNG, no
+per-process salt), because the same log must shard identically across a
+crash/recover boundary — :func:`HashRouter.key` therefore uses CRC32,
+not Python's per-process-salted ``hash()``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.raslog.events import RASEvent
+
+
+@dataclass(frozen=True, slots=True)
+class LocationRouter:
+    """One shard per distinct event location."""
+
+    kind = "location"
+
+    def key(self, event: RASEvent) -> str:
+        return event.location
+
+    def spec(self) -> dict:
+        return {"shard_by": self.kind, "n_shards": None}
+
+
+@dataclass(frozen=True, slots=True)
+class HashRouter:
+    """Deterministic ``crc32(location) % n_shards`` bucketing."""
+
+    n_shards: int
+
+    kind = "hash"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(
+                f"n_shards must be a positive integer, got {self.n_shards}"
+            )
+
+    def key(self, event: RASEvent) -> str:
+        bucket = zlib.crc32(event.location.encode("utf-8")) % self.n_shards
+        return f"shard-{bucket:03d}"
+
+    def spec(self) -> dict:
+        return {"shard_by": self.kind, "n_shards": self.n_shards}
+
+
+Router = LocationRouter | HashRouter
+
+
+def make_router(shard_by: str = "location", shards: int | None = None) -> Router:
+    """Router factory mirroring the CLI surface.
+
+    ``shards=N`` selects hash routing into N fixed buckets;
+    ``shard_by="location"`` (the default) selects one shard per
+    location.  The manifest stores :meth:`Router.spec` so recovery
+    rebuilds the identical routing.
+    """
+    if shards is not None:
+        return HashRouter(shards)
+    if shard_by == "location":
+        return LocationRouter()
+    raise ValueError(f"unknown partition scheme {shard_by!r}")
+
+
+def router_from_spec(spec: dict) -> Router:
+    """Inverse of :meth:`Router.spec` (manifest round-trips)."""
+    return make_router(spec["shard_by"], spec["n_shards"])
+
+
+__all__ = [
+    "HashRouter",
+    "LocationRouter",
+    "Router",
+    "make_router",
+    "router_from_spec",
+]

@@ -1,0 +1,574 @@
+"""Multi-stream prediction service: N session cores behind one router.
+
+The paper predicts failures for one Blue Gene/L system; a fleet runs one
+prediction stream per machine/rack.  :class:`PredictionService` hosts N
+:class:`~repro.core.online.OnlinePredictionSession` stacks in one
+process, routes each event to its shard by a partition key (default: the
+event's location), and owns the fleet-level durability layout so the
+whole fleet checkpoints and recovers as a unit:
+
+* **routing** — a pure router (:mod:`repro.service.partition`) maps an
+  event to a shard key; location routing creates shards lazily as new
+  locations appear, hash routing folds locations into a fixed count;
+* **shared executor** — all shards retrain through one executor pool,
+  so a 64-shard fleet does not spawn 64 process pools;
+* **fleet durability** — under ``fleet_dir`` each shard gets its own
+  subdirectory (write-ahead journal + checkpoint file + a tiny
+  ``shard.json`` identity record), and :meth:`checkpoint` finishes by
+  writing an atomic service manifest.  :meth:`recover` rebuilds every
+  shard crash-consistently — including shards created *after* the last
+  manifest write, which are found by scanning the shard directory;
+* **blast-radius isolation** — a chaos :class:`~repro.faults.ShardKill`
+  (or a journal fault inside one shard) marks only that shard down;
+  every other shard keeps serving, and :meth:`restore_shard` brings the
+  victim back from its checkpoint + journal without touching the rest.
+
+Per-shard throughput, latency and degraded-mode state are recorded as
+labeled metrics (``service.events{shard="..."}``) through
+:class:`~repro.observe.wrappers.MeteredSession`.
+
+On-disk layout::
+
+    fleet/
+      manifest.json                  # atomic; written last on checkpoint
+      shards/
+        000-R01_M0_N04/
+          shard.json                 # {"key": "R01-M0-N04"}
+          checkpoint.json
+          journal/journal-*.seg
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import faults, observe
+from repro.alerts import FailureWarning
+from repro.core.framework import FrameworkConfig
+from repro.core.online import OnlinePredictionSession
+from repro.core.session import SessionSummary
+from repro.observe.wrappers import MeteredSession
+from repro.parallel.executor import Executor
+from repro.raslog.catalog import EventCatalog, default_catalog
+from repro.raslog.events import RASEvent
+from repro.resilience import checkpoint as ckpt
+from repro.resilience.journal import EventJournal
+from repro.service.partition import Router, make_router, router_from_spec
+
+MANIFEST_FORMAT = "repro-service-manifest"
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+SHARDS_DIRNAME = "shards"
+SHARD_META_NAME = "shard.json"
+CHECKPOINT_NAME = "checkpoint.json"
+JOURNAL_DIRNAME = "journal"
+
+
+class ShardDown(RuntimeError):
+    """An event was routed to a shard that has been killed.
+
+    The rest of the fleet is unaffected; bring the shard back with
+    :meth:`PredictionService.restore_shard` (its accepted inputs are in
+    its checkpoint + journal) and re-deliver the rejected event.
+    """
+
+    def __init__(self, key: str) -> None:
+        super().__init__(
+            f"shard {key!r} is down; restore_shard() to recover it"
+        )
+        self.key = key
+
+
+def _read_json(path: Path, *, require_format: str | None = None) -> dict:
+    """Load a fleet metadata document (manifest or ``shard.json``)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ckpt.CheckpointError(
+                f"{path}: not valid JSON: {exc}"
+            ) from exc
+    if not isinstance(payload, dict):
+        raise ckpt.CheckpointError(f"{path}: expected a JSON object")
+    if require_format is not None and payload.get("format") != require_format:
+        raise ckpt.CheckpointError(f"{path}: not a {require_format} file")
+    return payload
+
+
+def _slug(key: str) -> str:
+    """Filesystem-safe fragment of a shard key (uniqueness comes from
+    the index prefix, so lossy sanitization is fine)."""
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "_", key).strip("._-")
+    return cleaned[:48] or "shard"
+
+
+@dataclass
+class _Shard:
+    """One prediction stream: key, session stack, and its disk home."""
+
+    key: str
+    index: int
+    session: OnlinePredictionSession
+    metered: MeteredSession
+    directory: Path | None = None
+    #: events routed to this shard in this process (fault-hook ordinal)
+    routed: int = 0
+
+
+@dataclass
+class FleetSummary:
+    """Per-shard accounting plus fleet-level aggregates.
+
+    Aggregate precision/recall are computed from summed match counts
+    (micro-averaged), not averaged per-shard ratios — a shard with no
+    warnings must not drag the fleet average.
+    """
+
+    shards: dict[str, SessionSummary] = field(default_factory=dict)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_events(self) -> int:
+        return sum(s.n_events for s in self.shards.values())
+
+    @property
+    def n_fatal(self) -> int:
+        return sum(s.n_fatal for s in self.shards.values())
+
+    @property
+    def n_warnings(self) -> int:
+        return sum(s.n_warnings for s in self.shards.values())
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(s.n_quarantined for s in self.shards.values())
+
+    @property
+    def n_retrains(self) -> int:
+        return sum(len(s.retrains) for s in self.shards.values())
+
+    @property
+    def n_retrain_failures(self) -> int:
+        return sum(len(s.retrain_failures) for s in self.shards.values())
+
+    @property
+    def true_positives(self) -> int:
+        return sum(s.matching.true_positives for s in self.shards.values())
+
+    @property
+    def false_positives(self) -> int:
+        return sum(s.matching.false_positives for s in self.shards.values())
+
+    @property
+    def false_negatives(self) -> int:
+        return sum(s.matching.false_negatives for s in self.shards.values())
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+
+class PredictionService:
+    """Route a fleet's event stream to N independent session cores.
+
+    Every shard session shares ``executor`` (pass ``own_executor=True``
+    to have the service close it) and the service ``origin``, so shard
+    week boundaries stay aligned with the global stream.  With
+    ``fleet_dir`` set, each shard journals write-ahead and
+    :meth:`checkpoint`/:meth:`recover` round-trip the whole fleet.
+    """
+
+    def __init__(
+        self,
+        config: FrameworkConfig | None = None,
+        catalog: EventCatalog | None = None,
+        *,
+        shard_by: str = "location",
+        shards: int | None = None,
+        router: Router | None = None,
+        executor: Executor | None = None,
+        own_executor: bool = False,
+        origin: float = 0.0,
+        fleet_dir: str | Path | None = None,
+        journal_fsync: str | int = "always",
+    ) -> None:
+        self.config = config or FrameworkConfig()
+        self.catalog = catalog or default_catalog()
+        self.router = router or make_router(shard_by, shards)
+        self.origin = float(origin)
+        self.fleet_dir = Path(fleet_dir) if fleet_dir is not None else None
+        self.journal_fsync = journal_fsync
+        self._executor = executor
+        self._own_executor = own_executor and executor is not None
+        self._shards: dict[str, _Shard] = {}
+        self._down: set[str] = set()
+        if self.fleet_dir is not None:
+            (self.fleet_dir / SHARDS_DIRNAME).mkdir(
+                parents=True, exist_ok=True
+            )
+            # The manifest is written eagerly (here and on every shard
+            # birth), so the fleet is recoverable from its first event —
+            # not just from its first checkpoint.
+            self._write_manifest()
+
+    # -- shard lifecycle ---------------------------------------------------
+
+    @property
+    def shard_keys(self) -> list[str]:
+        """Keys of all shards, in creation order."""
+        return list(self._shards)
+
+    @property
+    def down_shards(self) -> set[str]:
+        """Keys of shards currently marked down."""
+        return set(self._down)
+
+    @property
+    def n_ingested(self) -> int:
+        """Events accepted across the fleet (the resume/skip ledger)."""
+        return sum(s.session.n_ingested for s in self._shards.values())
+
+    def session(self, key: str) -> OnlinePredictionSession:
+        """The session currently serving shard ``key``."""
+        return self._shards[key].session
+
+    def _shard_dir(self, index: int, key: str) -> Path | None:
+        if self.fleet_dir is None:
+            return None
+        return self.fleet_dir / SHARDS_DIRNAME / f"{index:03d}-{_slug(key)}"
+
+    def _make_shard(self, key: str) -> _Shard:
+        index = len(self._shards)
+        directory = self._shard_dir(index, key)
+        journal = None
+        if directory is not None:
+            directory.mkdir(parents=True, exist_ok=True)
+            ckpt.atomic_write_json(
+                directory / SHARD_META_NAME, {"key": key, "index": index}
+            )
+            journal = EventJournal(
+                directory / JOURNAL_DIRNAME, fsync=self.journal_fsync
+            )
+        session = OnlinePredictionSession(
+            self.config,
+            catalog=self.catalog,
+            executor=self._executor,
+            origin=self.origin,
+            journal=journal,
+        )
+        shard = _Shard(
+            key=key,
+            index=index,
+            session=session,
+            metered=MeteredSession(
+                session, prefix="service", degraded_of=session, shard=key
+            ),
+            directory=directory,
+        )
+        self._shards[key] = shard
+        if self.fleet_dir is not None:
+            self._write_manifest()
+        observe.gauge("service.shards").set(len(self._shards))
+        return shard
+
+    def _shard_for(self, event: RASEvent) -> _Shard:
+        key = self.router.key(event)
+        if key in self._down:
+            raise ShardDown(key)
+        shard = self._shards.get(key)
+        if shard is None:
+            shard = self._make_shard(key)
+        return shard
+
+    def _mark_down(self, shard: _Shard) -> None:
+        """A shard process died: close its journal, keep serving the rest."""
+        self._down.add(shard.key)
+        journal = shard.session.journal
+        if journal is not None:
+            journal.close()
+        observe.counter("service.shard_kills", shard=shard.key).inc()
+
+    # -- streaming surface -------------------------------------------------
+
+    def ingest(self, event: RASEvent) -> list[FailureWarning]:
+        """Route one event to its shard; returns that shard's warnings.
+
+        A :class:`~repro.faults.FaultInjected` raised by the chaos hook
+        (or from inside the shard's stack, e.g. a journal fault) marks
+        the shard down and propagates; other shards keep serving.
+        """
+        shard = self._shard_for(event)
+        shard.routed += 1
+        plan = faults.active()
+        try:
+            if plan is not None:
+                plan.on_shard_event(shard.key, shard.routed)
+            return shard.metered.ingest(event)
+        except faults.FaultInjected:
+            self._mark_down(shard)
+            raise
+
+    def advance(self, now: float) -> list[FailureWarning]:
+        """Move every live shard's clock (idle timer service)."""
+        new: list[FailureWarning] = []
+        for shard in self._shards.values():
+            if shard.key in self._down:
+                continue
+            new.extend(shard.metered.advance(now))
+        return new
+
+    def flush(self) -> list[FailureWarning]:
+        """Drain every live shard's reorder buffer (end of stream)."""
+        new: list[FailureWarning] = []
+        for shard in self._shards.values():
+            if shard.key in self._down:
+                continue
+            new.extend(shard.metered.flush())
+        return new
+
+    def warnings(self, key: str) -> list[FailureWarning]:
+        """Warnings accumulated by shard ``key``."""
+        return self._shards[key].session.warnings
+
+    def summary(self) -> FleetSummary:
+        """Per-shard summaries plus fleet aggregates, keyed by shard."""
+        return FleetSummary(
+            shards={
+                key: shard.session.summary()
+                for key, shard in self._shards.items()
+            }
+        )
+
+    def close(self) -> None:
+        """Close every shard journal, then the executor if owned."""
+        for shard in self._shards.values():
+            journal = shard.session.journal
+            if journal is not None:
+                journal.close()
+        if self._own_executor:
+            self._own_executor = False
+            assert self._executor is not None
+            self._executor.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- fleet durability --------------------------------------------------
+
+    def _require_fleet_dir(self) -> Path:
+        if self.fleet_dir is None:
+            raise ValueError(
+                "this service has no fleet directory; pass fleet_dir= to "
+                "enable fleet checkpoint/recovery"
+            )
+        return self.fleet_dir
+
+    def checkpoint(self) -> dict:
+        """Checkpoint every live shard, then the manifest; returns it.
+
+        Down shards are skipped — their last checkpoint plus their
+        journal already cover everything they accepted.  The manifest is
+        written last (atomically), so a crash mid-checkpoint leaves a
+        manifest that only references shard snapshots that fully exist.
+        """
+        self._require_fleet_dir()
+        for shard in self._shards.values():
+            if shard.key in self._down:
+                continue
+            assert shard.directory is not None
+            shard.session.checkpoint(shard.directory / CHECKPOINT_NAME)
+        manifest = self._write_manifest()
+        observe.counter("service.checkpoints").inc()
+        return manifest
+
+    def _write_manifest(self) -> dict:
+        fleet_dir = self.fleet_dir
+        assert fleet_dir is not None
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "router": self.router.spec(),
+            "config_digest": ckpt.config_digest(self.config),
+            "config": ckpt.config_to_dict(self.config),
+            "origin": self.origin,
+            "journal_fsync": (
+                self.journal_fsync
+                if isinstance(self.journal_fsync, int)
+                else str(self.journal_fsync)
+            ),
+            "shards": [
+                {
+                    "key": shard.key,
+                    "index": shard.index,
+                    "dir": str(
+                        shard.directory.relative_to(fleet_dir)
+                        if shard.directory is not None
+                        else ""
+                    ),
+                }
+                for shard in sorted(
+                    self._shards.values(), key=lambda s: s.index
+                )
+            ],
+        }
+        ckpt.atomic_write_json(fleet_dir / MANIFEST_NAME, manifest)
+        return manifest
+
+    def restore_shard(self, key: str) -> OnlinePredictionSession:
+        """Bring a down shard back from its checkpoint + journal.
+
+        The restored session has seen exactly the inputs the dead one
+        accepted (write-ahead journal replay past the checkpoint's
+        recorded position); the event whose delivery killed the shard
+        was never durable and must be re-delivered by the caller.
+        """
+        self._require_fleet_dir()
+        shard = self._shards[key]
+        if shard.directory is None:
+            raise ValueError(f"shard {key!r} has no directory to restore from")
+        session = OnlinePredictionSession.recover(
+            shard.directory / CHECKPOINT_NAME,
+            EventJournal(
+                shard.directory / JOURNAL_DIRNAME, fsync=self.journal_fsync
+            ),
+            self.config,
+            catalog=self.catalog,
+            executor=self._executor,
+            origin=self.origin,
+        )
+        shard.session = session
+        shard.metered = MeteredSession(
+            session, prefix="service", degraded_of=session, shard=key
+        )
+        self._down.discard(key)
+        observe.counter("service.shard_recoveries", shard=key).inc()
+        return session
+
+    @classmethod
+    def recover(
+        cls,
+        fleet_dir: str | Path,
+        config: FrameworkConfig | None = None,
+        catalog: EventCatalog | None = None,
+        *,
+        executor: Executor | None = None,
+        own_executor: bool = False,
+        origin: float | None = None,
+        journal_fsync: str | int | None = None,
+    ) -> "PredictionService":
+        """Crash-consistent recovery of the whole fleet.
+
+        Reads the manifest (router spec, config, origin), then restores
+        every shard found on disk — manifest-listed or not, because a
+        shard created after the last manifest write still has its
+        ``shard.json`` identity record and journal.  Each shard resumes
+        from its checkpoint (if one exists) and replays its journal past
+        the recorded position; a shard killed before its first
+        checkpoint replays its whole journal into a fresh session.
+
+        ``config`` defaults to the manifest's; passing one asserts
+        compatibility (digest mismatch raises
+        :class:`~repro.resilience.CheckpointError`).
+        """
+        fleet_dir = Path(fleet_dir)
+        manifest_path = fleet_dir / MANIFEST_NAME
+        manifest = None
+        if manifest_path.exists():
+            manifest = _read_json(
+                manifest_path, require_format=MANIFEST_FORMAT
+            )
+            if manifest.get("version") != MANIFEST_VERSION:
+                raise ckpt.CheckpointError(
+                    f"{manifest_path}: unsupported manifest version "
+                    f"{manifest.get('version')!r} (this build reads "
+                    f"version {MANIFEST_VERSION})"
+                )
+        router = None
+        if manifest is not None:
+            router = router_from_spec(manifest["router"])
+            if config is None:
+                config = ckpt.config_from_dict(manifest["config"])
+            elif ckpt.config_digest(config) != manifest["config_digest"]:
+                raise ckpt.CheckpointError(
+                    f"{manifest_path}: fleet manifest was written under a "
+                    f"different configuration (digest mismatch)"
+                )
+            if origin is None:
+                origin = manifest["origin"]
+            if journal_fsync is None:
+                journal_fsync = manifest["journal_fsync"]
+        service = cls(
+            config,
+            catalog=catalog,
+            router=router,
+            executor=executor,
+            own_executor=own_executor,
+            origin=origin if origin is not None else 0.0,
+            fleet_dir=fleet_dir,
+            journal_fsync=(
+                journal_fsync if journal_fsync is not None else "always"
+            ),
+        )
+        shards_root = fleet_dir / SHARDS_DIRNAME
+        found: list[tuple[int, str, Path]] = []
+        if shards_root.exists():
+            for directory in sorted(shards_root.iterdir()):
+                meta_path = directory / SHARD_META_NAME
+                if not meta_path.exists():
+                    continue
+                meta = _read_json(meta_path)
+                found.append((meta["index"], meta["key"], directory))
+        found.sort()
+        for index, key, directory in found:
+            session = OnlinePredictionSession.recover(
+                directory / CHECKPOINT_NAME,
+                EventJournal(
+                    directory / JOURNAL_DIRNAME, fsync=service.journal_fsync
+                ),
+                service.config,
+                catalog=service.catalog,
+                executor=executor,
+                origin=service.origin,
+            )
+            service._shards[key] = _Shard(
+                key=key,
+                index=index,
+                session=session,
+                metered=MeteredSession(
+                    session, prefix="service", degraded_of=session, shard=key
+                ),
+                directory=directory,
+            )
+        observe.gauge("service.shards").set(len(service._shards))
+        observe.counter("service.recoveries").inc()
+        return service
+
+
+__all__ = [
+    "CHECKPOINT_NAME",
+    "FleetSummary",
+    "JOURNAL_DIRNAME",
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "PredictionService",
+    "SHARDS_DIRNAME",
+    "SHARD_META_NAME",
+    "ShardDown",
+    "_slug",
+]

@@ -1,0 +1,192 @@
+"""Unit tests for the pure session core and the wrapper stack.
+
+The core is the ordered event-at-a-time state machine; everything
+operational (reordering, journaling, metering) composes around it
+through the three-method :class:`StreamSession` protocol.  These tests
+pin the layering contract: each wrapper adds exactly its one concern and
+the stack as a whole behaves like the monolithic session it replaced.
+"""
+
+import pytest
+
+from repro import observe
+from repro.core.framework import FrameworkConfig
+from repro.core.online import OnlinePredictionSession
+from repro.core.session import SessionCore, StreamSession
+from repro.observe.wrappers import MeteredSession
+from repro.resilience.journal import EventJournal
+from repro.resilience.wrappers import JournalingSession, ReorderingSession
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.conftest import make_event, make_log
+
+PRECURSOR_A = "KERNEL-N-002"
+PRECURSOR_B = "KERNEL-N-003"
+FATAL = "KERNEL-F-000"
+
+
+def pattern_log(weeks=6):
+    period = 10_800.0
+    specs = []
+    t = 600.0
+    while t + 120.0 < weeks * WEEK_SECONDS:
+        specs += [(t, PRECURSOR_A), (t + 60.0, PRECURSOR_B), (t + 120.0, FATAL)]
+        t += period
+    return make_log(specs)
+
+
+def fast_config(**overrides):
+    return FrameworkConfig(
+        initial_train_weeks=2, retrain_weeks=2, **overrides
+    )
+
+
+class TestProtocol:
+    def test_every_layer_is_a_stream_session(self, catalog, tmp_path):
+        core = SessionCore(fast_config(), catalog=catalog)
+        assert isinstance(core, StreamSession)
+        reordering = ReorderingSession(core, slack=60.0)
+        assert isinstance(reordering, StreamSession)
+        journal = EventJournal(tmp_path / "j", fsync="never")
+        assert isinstance(JournalingSession(reordering, journal), StreamSession)
+        assert isinstance(MeteredSession(core), StreamSession)
+        journal.close()
+
+    def test_facade_is_a_stream_session(self, catalog):
+        session = OnlinePredictionSession(fast_config(), catalog=catalog)
+        assert isinstance(session, StreamSession)
+
+
+class TestSessionCore:
+    def test_orders_enforced(self, catalog):
+        core = SessionCore(fast_config(), catalog=catalog)
+        core.ingest(make_event(100.0, PRECURSOR_A))
+        with pytest.raises(ValueError, match="time order"):
+            core.ingest(make_event(50.0, PRECURSOR_B))
+        with pytest.raises(ValueError, match="clock moved backwards"):
+            core.advance(50.0)
+
+    def test_rejects_pre_origin_events(self, catalog):
+        core = SessionCore(fast_config(), catalog=catalog, origin=1000.0)
+        with pytest.raises(ValueError, match="precedes the session origin"):
+            core.ingest(make_event(999.0, PRECURSOR_A))
+
+    def test_trains_at_boundary_and_predicts(self, catalog):
+        core = SessionCore(fast_config(), catalog=catalog)
+        assert not core.started
+        warnings = []
+        for event in pattern_log():
+            warnings.extend(core.ingest(event))
+        assert core.started
+        assert [r.week for r in core.retrains] == [2, 4]
+        assert warnings
+        assert core.warnings == warnings
+        summary = core.summary()
+        assert summary.n_warnings == len(warnings)
+        assert summary.precision > 0.9
+
+    def test_flush_is_a_noop(self, catalog):
+        core = SessionCore(fast_config(), catalog=catalog)
+        assert core.flush() == []
+
+    def test_matches_facade_warning_for_warning(self, catalog):
+        """The facade over a bare core is a pure veneer: identical
+        warnings, retrains and summary."""
+        log = pattern_log()
+        core = SessionCore(fast_config(), catalog=catalog)
+        session = OnlinePredictionSession(fast_config(), catalog=catalog)
+        for event in log:
+            core.ingest(event)
+            session.ingest(event)
+        assert core.warnings == session.warnings
+        assert [r.week for r in core.retrains] == [
+            r.week for r in session.retrains
+        ]
+        ours, theirs = core.summary(), session.summary()
+        assert (ours.n_events, ours.n_fatal, ours.n_warnings) == (
+            theirs.n_events,
+            theirs.n_fatal,
+            theirs.n_warnings,
+        )
+        assert (ours.precision, ours.recall) == (theirs.precision, theirs.recall)
+
+
+class TestReorderingLayer:
+    def test_heals_disorder_within_slack(self, catalog):
+        log = list(pattern_log())
+        swapped = log.copy()
+        swapped[10], swapped[11] = swapped[11], swapped[10]
+
+        straight = SessionCore(fast_config(), catalog=catalog)
+        for event in log:
+            straight.ingest(event)
+
+        core = SessionCore(fast_config(), catalog=catalog)
+        layer = ReorderingSession(core, slack=300.0)
+        for event in swapped:
+            layer.ingest(event)
+        layer.flush()
+        assert layer.n_quarantined == 0
+        assert core.warnings == straight.warnings
+
+    def test_quarantines_beyond_slack(self, catalog):
+        core = SessionCore(fast_config(), catalog=catalog)
+        layer = ReorderingSession(core, slack=60.0)
+        layer.ingest(make_event(10_000.0, PRECURSOR_A))
+        layer.ingest(make_event(100.0, PRECURSOR_B))  # hopelessly late
+        layer.flush()
+        assert layer.n_quarantined == 1
+        assert len(layer.quarantined) == 1
+        assert layer.quarantined[0].timestamp == 100.0
+
+
+class TestJournalingLayer:
+    def test_appends_before_delegating(self, catalog, tmp_path):
+        core = SessionCore(fast_config(), catalog=catalog)
+        journal = EventJournal(tmp_path / "j", fsync="never")
+        layer = JournalingSession(core, journal)
+        layer.ingest(make_event(100.0, PRECURSOR_A))
+        layer.advance(200.0)
+        layer.flush()
+        journal.close()
+
+        replayed = [
+            record
+            for _, record in EventJournal(tmp_path / "j", fsync="never").replay()
+        ]
+        assert [r["kind"] for r in replayed] == ["ingest", "advance", "flush"]
+        assert replayed[0]["event"]["timestamp"] == 100.0
+        assert replayed[1]["now"] == 200.0
+
+    def test_suppress_skips_the_journal(self, catalog, tmp_path):
+        core = SessionCore(fast_config(), catalog=catalog)
+        journal = EventJournal(tmp_path / "j", fsync="never")
+        layer = JournalingSession(core, journal)
+        layer.suppress = True
+        layer.ingest(make_event(100.0, PRECURSOR_A))
+        layer.suppress = False
+        layer.ingest(make_event(200.0, PRECURSOR_A))
+        journal.close()
+        replayed = [
+            record
+            for _, record in EventJournal(tmp_path / "j", fsync="never").replay()
+        ]
+        assert [r["event"]["timestamp"] for r in replayed] == [200.0]
+
+
+class TestMeteredLayer:
+    def test_records_labeled_series(self, catalog):
+        registry = observe.MetricsRegistry()
+        core = SessionCore(fast_config(), catalog=catalog)
+        layer = MeteredSession(
+            core, prefix="service", degraded_of=core, shard="R01"
+        )
+        with observe.use_registry(registry):
+            for event in pattern_log(3):
+                layer.ingest(event)
+        events = registry.counter("service.events", shard="R01")
+        assert events.value == len(pattern_log(3))
+        assert registry.histogram("service.ingest", shard="R01").count > 0
+        assert registry.counter("service.warnings", shard="R01").value == len(
+            core.warnings
+        )
+        assert registry.gauge("service.degraded", shard="R01").value == 0.0

@@ -9,6 +9,8 @@ from repro.observe import (
     MetricsRegistry,
     counter,
     get_registry,
+    labels_key,
+    render_name,
     set_registry,
     span,
     use_registry,
@@ -164,6 +166,89 @@ class TestRegistry:
             t.join()
         assert reg.counter("n").value == 4000
         assert reg.histogram("h").count == 4000
+
+
+class TestLabels:
+    def test_labels_create_independent_series(self):
+        reg = MetricsRegistry()
+        reg.counter("events", shard="a").inc(2)
+        reg.counter("events", shard="b").inc(5)
+        assert reg.counter("events", shard="a").value == 2
+        assert reg.counter("events", shard="b").value == 5
+        # ...and the unlabeled series is yet another instrument
+        assert reg.counter("events").value == 0
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        first = reg.counter("c", a="1", b="2")
+        second = reg.counter("c", b="2", a="1")
+        assert first is second
+        assert labels_key({"b": 2, "a": 1}) == (("a", "1"), ("b", "2"))
+
+    def test_rendered_names(self):
+        assert render_name("plain") == "plain"
+        assert (
+            render_name("c", (("shard", "R01"),)) == 'c{shard="R01"}'
+        )
+        reg = MetricsRegistry()
+        reg.counter("c", shard="R01")
+        assert reg.names() == ['c{shard="R01"}']
+        assert "c" in reg and 'c{shard="R01"}' in reg
+
+    def test_empty_label_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MetricsRegistry().counter("c", **{"": "v"})
+
+    def test_snapshot_flat_for_unlabeled_nested_for_labeled(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc()
+        reg.counter("sharded", shard="a").inc()
+        snap = reg.snapshot()
+        assert "labels" not in snap["plain"]
+        assert snap['sharded{shard="a"}']["labels"] == {"shard": "a"}
+
+    def test_snapshot_order_deterministic(self):
+        """Series are ordered by metric name, then label set, regardless
+        of creation order — two runs of the same workload export
+        byte-identical JSON."""
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a", shard="b").inc()
+        reg.counter("a", shard="a").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()) == [
+            "a",
+            'a{shard="a"}',
+            'a{shard="b"}',
+            "z",
+        ]
+        assert reg.to_json() == reg.to_json()
+
+    def test_series_lookup(self):
+        reg = MetricsRegistry()
+        reg.counter("c", shard="a").inc(1)
+        reg.counter("c", shard="b").inc(2)
+        reg.counter("other").inc()
+        series = reg.series("c")
+        assert [labels for labels, _ in series] == [
+            {"shard": "a"},
+            {"shard": "b"},
+        ]
+        assert [inst.value for _, inst in series] == [1, 2]
+
+    def test_labeled_span_and_kind_clash(self):
+        reg = MetricsRegistry()
+        with reg.span("stage", shard="a"):
+            pass
+        assert reg.histogram("stage", shard="a").count == 1
+        with pytest.raises(TypeError, match="Histogram"):
+            reg.counter("stage", shard="a")
+
+    def test_module_helpers_accept_labels(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            counter("hits", shard="x").inc()
+        assert reg.counter("hits", shard="x").value == 1.0
 
 
 class TestDefaultRegistry:

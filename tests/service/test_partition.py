@@ -1,0 +1,65 @@
+"""Unit tests for the routing layer (partition keys)."""
+
+import zlib
+
+import pytest
+
+from repro.service import HashRouter, LocationRouter, make_router
+from repro.service.partition import router_from_spec
+from tests.conftest import make_event
+
+
+class TestLocationRouter:
+    def test_keys_by_location(self):
+        router = LocationRouter()
+        assert router.key(make_event(1.0, location="R01-M0-N04")) == "R01-M0-N04"
+        assert router.key(make_event(1.0, location="R17-M1-N00")) == "R17-M1-N00"
+
+    def test_spec_round_trips(self):
+        router = LocationRouter()
+        assert router_from_spec(router.spec()) == router
+
+
+class TestHashRouter:
+    def test_deterministic_and_crc_based(self):
+        """Hash routing must survive a process restart, so it is CRC32,
+        never Python's per-process-salted hash()."""
+        router = HashRouter(4)
+        event = make_event(1.0, location="R03-M1-N09")
+        expected = zlib.crc32(b"R03-M1-N09") % 4
+        assert router.key(event) == f"shard-{expected:03d}"
+        assert router.key(event) == HashRouter(4).key(event)
+
+    def test_same_location_same_shard(self):
+        router = HashRouter(8)
+        a = router.key(make_event(1.0, location="R00-M0-N00"))
+        b = router.key(make_event(99.0, location="R00-M0-N00", record_id=7))
+        assert a == b
+
+    def test_covers_all_buckets_eventually(self):
+        router = HashRouter(2)
+        keys = {
+            router.key(make_event(1.0, location=f"R{i:02d}-M0-N00"))
+            for i in range(32)
+        }
+        assert keys == {"shard-000", "shard-001"}
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError, match="positive"):
+            HashRouter(0)
+
+    def test_spec_round_trips(self):
+        router = HashRouter(6)
+        assert router_from_spec(router.spec()) == router
+
+
+class TestMakeRouter:
+    def test_defaults_to_location(self):
+        assert make_router() == LocationRouter()
+
+    def test_shards_selects_hash(self):
+        assert make_router(shards=3) == HashRouter(3)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown partition scheme"):
+            make_router("job")

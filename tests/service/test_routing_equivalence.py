@@ -1,0 +1,129 @@
+"""Routing equivalence: a sharded fleet == N independent sessions.
+
+The service's core correctness claim is that sharding is *transparent*:
+streaming a multi-location log through a location-sharded
+:class:`PredictionService` produces, per location, exactly the warnings,
+retrains and accounting of an independent single-session run over that
+location's sub-stream.  The pattern streams here span several retraining
+boundaries, so the equivalence covers rule-set replacement mid-stream,
+not just the initial training.
+"""
+
+import pytest
+
+from repro.core.framework import FrameworkConfig
+from repro.core.online import OnlinePredictionSession
+from repro.service import PredictionService
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.conftest import make_event
+
+PRECURSOR_A = "KERNEL-N-002"
+PRECURSOR_B = "KERNEL-N-003"
+FATAL = "KERNEL-F-000"
+
+LOCS = ["R00-M0-N00", "R01-M1-N01", "R02-M0-N03", "R03-M1-N07"]
+
+
+def fast_config():
+    return FrameworkConfig(initial_train_weeks=2, retrain_weeks=2)
+
+
+def fleet_events(weeks=8, locations=LOCS):
+    """Per-location precursor->fatal streams with staggered phases,
+    interleaved into one globally time-sorted fleet log."""
+    events = []
+    rid = 0
+    for offset, location in enumerate(locations):
+        t = 600.0 + offset * 1_753.0  # stagger so merges interleave
+        period = 10_800.0 + offset * 600.0
+        while t + 120.0 < weeks * WEEK_SECONDS:
+            for dt, code in (
+                (0.0, PRECURSOR_A),
+                (60.0, PRECURSOR_B),
+                (120.0, FATAL),
+            ):
+                events.append(
+                    make_event(t + dt, code, location=location, record_id=rid)
+                )
+                rid += 1
+            t += period
+    events.sort(key=lambda e: (e.timestamp, e.record_id))
+    return events
+
+
+@pytest.fixture(scope="module")
+def independent_runs(catalog):
+    """One OnlinePredictionSession per location over its own sub-stream."""
+    events = fleet_events()
+    sessions = {}
+    for location in LOCS:
+        session = OnlinePredictionSession(fast_config(), catalog=catalog)
+        for event in events:
+            if event.location == location:
+                session.ingest(event)
+        sessions[location] = session
+    return events, sessions
+
+
+class TestRoutingEquivalence:
+    def test_location_sharding_matches_independent_sessions(
+        self, catalog, independent_runs
+    ):
+        events, independent = independent_runs
+        service = PredictionService(fast_config(), catalog=catalog)
+        for event in events:
+            service.ingest(event)
+        service.flush()
+
+        assert set(service.shard_keys) == set(LOCS)
+        for location in LOCS:
+            expected = independent[location]
+            actual = service.session(location)
+            # warning-for-warning, across retraining boundaries
+            assert actual.warnings == expected.warnings
+            assert [r.week for r in actual.retrains] == [
+                r.week for r in expected.retrains
+            ]
+            assert len(expected.retrains) >= 2  # boundaries were crossed
+            ours, theirs = actual.summary(), expected.summary()
+            assert (ours.n_events, ours.n_fatal, ours.n_warnings) == (
+                theirs.n_events,
+                theirs.n_fatal,
+                theirs.n_warnings,
+            )
+            assert ours.precision == theirs.precision
+            assert ours.recall == theirs.recall
+
+    def test_fleet_aggregates_sum_the_independent_runs(
+        self, catalog, independent_runs
+    ):
+        events, independent = independent_runs
+        service = PredictionService(fast_config(), catalog=catalog)
+        for event in events:
+            service.ingest(event)
+        service.flush()
+        summary = service.summary()
+        assert summary.n_events == len(events)
+        assert summary.n_warnings == sum(
+            len(s.warnings) for s in independent.values()
+        )
+        assert summary.true_positives == sum(
+            s.summary().matching.true_positives for s in independent.values()
+        )
+
+    def test_hash_sharding_is_also_equivalent_per_stream(self, catalog):
+        """Hash routing groups several locations per shard; each shard's
+        session must equal an independent session over exactly that
+        shard's merged sub-stream."""
+        events = fleet_events(weeks=6)
+        service = PredictionService(fast_config(), catalog=catalog, shards=2)
+        for event in events:
+            service.ingest(event)
+        service.flush()
+
+        for key in service.shard_keys:
+            expected = OnlinePredictionSession(fast_config(), catalog=catalog)
+            for event in events:
+                if service.router.key(event) == key:
+                    expected.ingest(event)
+            assert service.session(key).warnings == expected.warnings

@@ -14,12 +14,19 @@ import pytest
 from repro import faults, observe
 from repro.core.framework import DynamicMetaLearningFramework, FrameworkConfig
 from repro.core.online import OnlinePredictionSession
-from repro.faults import FaultInjected, FaultPlan, LearnerCrash, PoolBreak
+from repro.faults import (
+    FaultInjected,
+    FaultPlan,
+    LearnerCrash,
+    PoolBreak,
+    ShardKill,
+)
 from repro.parallel.executor import SerialExecutor, ThreadExecutor
 from repro.raslog.parser import ParseError, ParseReport, dump_log, load_log
 from repro.resilience.degrade import backoff_delay
+from repro.service import PredictionService, ShardDown
 from repro.utils.timeutil import WEEK_SECONDS
-from tests.conftest import make_log
+from tests.conftest import make_event, make_log
 
 pytestmark = pytest.mark.chaos
 
@@ -218,6 +225,166 @@ class TestBrokenPool:
         assert isinstance(session.meta.executor, SerialExecutor)
         assert [r.week for r in session.retrains] == [2, 4]
         assert session.warnings
+
+
+FLEET_LOCS = ["R00-M0-N00", "R01-M1-N01", "R02-M0-N03"]
+
+
+def fleet_pattern_log(weeks=8, locations=FLEET_LOCS):
+    """Per-location pattern streams merged into one time-sorted fleet log."""
+    events = []
+    rid = 0
+    for offset, location in enumerate(locations):
+        t = 600.0 + offset * 37.0
+        while t + 120.0 < weeks * WEEK_SECONDS:
+            for dt, code in (
+                (0.0, PRECURSOR_A),
+                (60.0, PRECURSOR_B),
+                (120.0, FATAL),
+            ):
+                events.append(
+                    make_event(t + dt, code, location=location, record_id=rid)
+                )
+                rid += 1
+            t += 10_800.0
+    events.sort(key=lambda e: (e.timestamp, e.record_id))
+    return events
+
+
+class TestShardKill:
+    def test_kill_one_shard_fleet_keeps_serving_and_recovers(
+        self, catalog, tmp_path
+    ):
+        """The blast-radius contract: a chaos kill of one shard leaves
+        every other shard's warnings untouched, and full-fleet recovery
+        from the per-shard journals reproduces the uninterrupted run
+        exactly — victim included."""
+        events = fleet_pattern_log()
+        config = degrade_config()
+        victim = FLEET_LOCS[1]
+
+        reference = PredictionService(config, catalog=catalog)
+        for event in events:
+            reference.ingest(event)
+        reference.flush()
+
+        fleet = tmp_path / "fleet"
+        plan = FaultPlan(shard_kills=[ShardKill(shard=victim, at_count=50)])
+        registry = observe.MetricsRegistry()
+        service = PredictionService(
+            config, catalog=catalog, fleet_dir=fleet, journal_fsync="never"
+        )
+        down_rejections = 0
+        with observe.use_registry(registry), faults.install(plan):
+            for event in events:
+                try:
+                    service.ingest(event)
+                except FaultInjected:
+                    pass  # the kill: event was never durable
+                except ShardDown:
+                    down_rejections += 1  # victim stays down, fleet serves on
+            service.flush()
+        assert plan.injected == [f"shard:{victim}:50"]
+        assert service.down_shards == {victim}
+        assert down_rejections > 0
+        assert registry.counter("service.shard_kills", shard=victim).value == 1
+        # the survivors never noticed
+        for key in FLEET_LOCS:
+            if key == victim:
+                continue
+            assert (
+                service.session(key).warnings
+                == reference.session(key).warnings
+            )
+        service.close()
+
+        # full-fleet recovery: journals bring the victim back, then
+        # re-delivering each shard's missing tail converges on the
+        # uninterrupted run
+        recovered = PredictionService.recover(
+            fleet, catalog=catalog, journal_fsync="never"
+        )
+        assert recovered.down_shards == set()
+        skipped = {
+            k: recovered.session(k).n_ingested for k in recovered.shard_keys
+        }
+        for event in events:
+            key = recovered.router.key(event)
+            if skipped.get(key, 0) > 0:
+                skipped[key] -= 1
+                continue
+            recovered.ingest(event)
+        recovered.flush()
+        for key in FLEET_LOCS:
+            assert (
+                recovered.session(key).warnings
+                == reference.session(key).warnings
+            )
+        ours, theirs = recovered.summary(), reference.summary()
+        assert (ours.n_events, ours.n_fatal, ours.n_warnings) == (
+            theirs.n_events,
+            theirs.n_fatal,
+            theirs.n_warnings,
+        )
+        assert ours.precision == theirs.precision
+        assert ours.recall == theirs.recall
+        recovered.close()
+
+    def test_kill_during_degraded_retraining(self, catalog, tmp_path):
+        """Composed faults: the victim shard is killed while the whole
+        fleet is absorbing retrain crashes in degraded mode; recovery
+        restores the victim's degraded-mode bookkeeping from disk."""
+        events = fleet_pattern_log()
+        config = degrade_config()
+        victim = FLEET_LOCS[0]
+        kill_plan = FaultPlan(
+            learner_crashes=[LearnerCrash(week=4, attempts=10**9)],
+            shard_kills=[ShardKill(shard=victim, at_count=120)],
+        )
+        fleet = tmp_path / "fleet"
+        service = PredictionService(
+            config, catalog=catalog, fleet_dir=fleet, journal_fsync="never"
+        )
+        with faults.install(kill_plan):
+            for event in events:
+                try:
+                    service.ingest(event)
+                except (FaultInjected, ShardDown):
+                    continue
+            service.flush()
+        assert service.down_shards == {victim}
+        assert any(f"shard:{victim}" in r for r in kill_plan.injected)
+        assert any(r.startswith("train:") for r in kill_plan.injected)
+        service.close()
+
+        reference = PredictionService(config, catalog=catalog)
+        with faults.install(
+            FaultPlan(learner_crashes=[LearnerCrash(week=4, attempts=10**9)])
+        ):
+            for event in events:
+                reference.ingest(event)
+            reference.flush()
+
+            recovered = PredictionService.recover(
+                fleet, catalog=catalog, journal_fsync="never"
+            )
+            skipped = {
+                k: recovered.session(k).n_ingested
+                for k in recovered.shard_keys
+            }
+            for event in events:
+                key = recovered.router.key(event)
+                if skipped.get(key, 0) > 0:
+                    skipped[key] -= 1
+                    continue
+                recovered.ingest(event)
+            recovered.flush()
+        for key in FLEET_LOCS:
+            assert (
+                recovered.session(key).warnings
+                == reference.session(key).warnings
+            )
+        recovered.close()
 
 
 class TestCorruptedStream:

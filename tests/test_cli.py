@@ -121,6 +121,93 @@ class TestRun:
         assert "weekly accuracy" in text
 
 
+class TestSharding:
+    def test_sharded_run_reports_per_shard(self, clean_log, capsys):
+        rc = main(
+            [
+                "run", str(clean_log), "--shards", "2",
+                "--initial-weeks", "2", "--retrain-weeks", "2",
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "across 2 shard(s)" in text
+        assert "shard shard-000:" in text
+        assert "shard shard-001:" in text
+
+    def test_shard_by_location_spawns_per_location_shards(
+        self, clean_log, capsys
+    ):
+        rc = main(
+            [
+                "run", str(clean_log), "--shard-by", "location",
+                "--initial-weeks", "2", "--retrain-weeks", "2",
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "shard(s)" in text
+        assert "shard R" in text  # location-keyed shard lines
+
+    def test_fleet_run_then_recover_matches(self, clean_log, tmp_path, capsys):
+        fleet = tmp_path / "fleet"
+        args = [
+            str(clean_log), "--shards", "2", "--fleet-dir", str(fleet),
+            "--initial-weeks", "2", "--retrain-weeks", "2",
+            "--journal-fsync", "never",
+        ]
+        rc = main(["run", *args, "--checkpoint-every", "50"])
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert (fleet / "manifest.json").exists()
+
+        rc = main(["recover", *args])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "recovered fleet" in captured.err
+        # nothing new to stream: the recovered fleet reports the same run
+        assert captured.out == first
+
+    def test_sharded_metrics_emits_labeled_series(self, clean_log, capsys):
+        rc = main(
+            [
+                "metrics", str(clean_log), "--shards", "2",
+                "--initial-weeks", "2", "--retrain-weeks", "2",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 'service.events{shard="shard-000"}' in payload
+        assert payload['service.events{shard="shard-000"}']["labels"] == {
+            "shard": "shard-000"
+        }
+        assert list(payload) == sorted(payload)
+
+    def test_sharding_conflicts_with_single_session_flags(
+        self, clean_log, tmp_path, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run", str(clean_log), "--shards", "2",
+                    "--journal", str(tmp_path / "j"),
+                ]
+            )
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_recover_requires_fleet_or_checkpoint_journal(
+        self, clean_log, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main(["recover", str(clean_log)])
+        assert "--fleet-dir" in capsys.readouterr().err
+
+    def test_checkpoint_every_accepts_fleet_dir(self, clean_log, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", str(clean_log), "--checkpoint-every", "10"])
+        assert "--checkpoint-every requires" in capsys.readouterr().err
+
+
 class TestMetrics:
     def test_emits_per_stage_breakdown(self, clean_log, capsys):
         rc = main(
