@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Gate BENCH_* trajectories: fail on perf regressions vs baseline.
+
+For each ``BENCH_<topic>.json`` given, the newest run is the candidate
+and its baseline is the most recent *earlier* run with the same
+``params_digest`` (so smoke runs are only compared against smoke runs,
+full runs against full runs).  A metric regresses when it is worse than
+the baseline by more than ``--threshold`` (fraction, default 0.20);
+"worse" follows the metric's recorded ``higher_is_better``.
+
+Cross-machine honesty: when the candidate and baseline carry different
+machine fingerprints, absolute numbers (events/s, us, ...) are not
+comparable — only dimensionless ``ratio`` metrics (speedups, scaling
+factors) are gated; the rest are reported informationally.  ``count``
+metrics are never gated (they are workload invariants, not performance).
+
+Exit status: 0 clean, 1 regression found, 2 usage/file error.
+
+Typical CI usage, after ``repro bench --smoke`` appended fresh runs to
+the committed trajectories::
+
+    python scripts/check_perf_regression.py BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.perf.harness import RATIO_UNIT, load_trajectory  # noqa: E402
+
+#: Units that are never gated: deterministic workload invariants.
+UNGATED_UNITS = frozenset({"count"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One metric comparison between candidate and baseline runs."""
+
+    topic: str
+    metric: str
+    baseline: float
+    candidate: float
+    unit: str
+    #: fractional change in the "worse" direction (negative = improved)
+    regression: float
+    gated: bool
+
+    @property
+    def regressed(self) -> bool:
+        return self.gated and self.regression > 0
+
+    def render(self, threshold: float) -> str:
+        direction = "-" if self.regression > 0 else "+"
+        status = "ok"
+        if not self.gated:
+            status = "info"
+        elif self.regression > threshold:
+            status = "REGRESSION"
+        return (
+            f"  {self.metric}: {self.baseline:,.2f} -> "
+            f"{self.candidate:,.2f} {self.unit} "
+            f"({direction}{abs(self.regression) * 100:.1f}%) [{status}]"
+        )
+
+
+def find_baseline(runs: list[dict], candidate: dict) -> "dict | None":
+    """Most recent run before ``candidate`` measuring the same workload."""
+    digest = candidate.get("params_digest")
+    for run in reversed(runs):
+        if run is candidate:
+            continue
+        if run.get("params_digest") == digest:
+            return run
+    return None
+
+
+def compare_runs(
+    topic: str, baseline: dict, candidate: dict
+) -> list[Finding]:
+    """Metric-by-metric comparison; gating per the cross-machine rules."""
+    same_machine = baseline.get("machine", {}).get("fingerprint") == candidate.get(
+        "machine", {}
+    ).get("fingerprint")
+    findings: list[Finding] = []
+    base_metrics = baseline.get("metrics", {})
+    for name, cand in sorted(candidate.get("metrics", {}).items()):
+        base = base_metrics.get(name)
+        if base is None:
+            continue
+        unit = cand.get("unit", "")
+        gated = unit not in UNGATED_UNITS and (
+            same_machine or unit == RATIO_UNIT
+        )
+        base_value = float(base["value"])
+        cand_value = float(cand["value"])
+        if base_value == 0.0:
+            regression = 0.0
+        elif cand.get("higher_is_better", False):
+            regression = (base_value - cand_value) / abs(base_value)
+        else:
+            regression = (cand_value - base_value) / abs(base_value)
+        findings.append(
+            Finding(
+                topic=topic,
+                metric=name,
+                baseline=base_value,
+                candidate=cand_value,
+                unit=unit,
+                regression=regression,
+                gated=gated,
+            )
+        )
+    return findings
+
+
+def check_file(path: str, threshold: float) -> tuple[list[Finding], str]:
+    """Returns (findings, note); findings empty when nothing comparable."""
+    data = load_trajectory(path)
+    runs = data["runs"]
+    if not runs:
+        return [], f"{path}: no runs recorded"
+    candidate = runs[-1]
+    baseline = find_baseline(runs, candidate)
+    if baseline is None:
+        return [], (
+            f"{path}: no earlier run with params_digest "
+            f"{candidate.get('params_digest')} — nothing to gate "
+            f"(baseline bootstrap)"
+        )
+    return compare_runs(data["topic"], baseline, candidate), ""
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", metavar="BENCH_topic.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="max tolerated fractional regression (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 10:
+        parser.error(f"implausible threshold {args.threshold}")
+
+    failed = False
+    for path in args.files:
+        try:
+            findings, note = check_file(path, args.threshold)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"{path}: unreadable trajectory: {exc}", file=sys.stderr)
+            return 2
+        if note:
+            print(note)
+            continue
+        print(f"{path}:")
+        for finding in findings:
+            print(finding.render(args.threshold))
+            if finding.gated and finding.regression > args.threshold:
+                failed = True
+
+    if failed:
+        print(
+            f"\nFAIL: regression beyond {args.threshold * 100:.0f}% "
+            f"tolerance (refresh the committed baseline only with "
+            f"an explanation in the PR)",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: no gated metric regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
 
 from repro import observe
@@ -449,6 +450,37 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run perf suites and append each run to its BENCH_* trajectory.
+
+    See :mod:`repro.perf` for the artifact format and
+    ``scripts/check_perf_regression.py`` for the gate that consumes it.
+    """
+    from repro.perf import SUITES, run_suite
+
+    if args.list:
+        for name in sorted(SUITES):
+            print(name)
+        return 0
+    names = args.suite or sorted(SUITES)
+    unknown = [n for n in names if n not in SUITES]
+    if unknown:
+        print(
+            f"unknown suite(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(SUITES))}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        started = time.perf_counter()
+        path, metrics = run_suite(name, smoke=args.smoke, directory=args.out_dir)
+        elapsed = time.perf_counter() - started
+        print(f"{name} ({elapsed:.1f}s) -> {path}")
+        for metric_name, metric in sorted(metrics.items()):
+            print(f"  {metric_name}: {metric.value:,.2f} {metric.unit}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro import experiments
 
@@ -684,6 +716,35 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--system", default="SDSC", choices=sorted(PROFILES))
     e.add_argument("--seed", type=int, default=2008)
     e.set_defaults(func=_cmd_experiment)
+
+    b = sub.add_parser(
+        "bench",
+        help="run perf suites, appending to BENCH_<topic>.json trajectories",
+    )
+    b.add_argument(
+        "--suite",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="suite to run (repeatable; default: all). "
+        "Use --list to see available suites",
+    )
+    b.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-scale workloads (distinct params_digest, so smoke runs "
+        "are only ever gated against smoke baselines)",
+    )
+    b.add_argument(
+        "--out-dir",
+        default=".",
+        metavar="DIR",
+        help="directory holding the BENCH_*.json trajectories (default: .)",
+    )
+    b.add_argument(
+        "--list", action="store_true", help="list available suites and exit"
+    )
+    b.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -16,7 +16,12 @@ from dataclasses import dataclass, field, replace
 from repro import observe
 from repro.core.knowledge import KnowledgeRepository
 from repro.core.meta import MetaLearner
-from repro.core.predictor import ENSEMBLE_POLICIES, FailureWarning, Predictor
+from repro.core.predictor import (
+    ENSEMBLE_POLICIES,
+    INDEXING_MODES,
+    FailureWarning,
+    Predictor,
+)
 from repro.core.reviser import Reviser
 from repro.core.tracking import ChurnHistory, ChurnRecord, diff_rule_sets
 from repro.core.windows import TrainingPolicy, dynamic_months
@@ -70,6 +75,12 @@ class FrameworkConfig:
     retrain_backoff_base: float = 60.0
     #: Cap on the exponential retry backoff (stream seconds).
     retrain_backoff_cap: float = 3600.0
+    #: Predictor matching-index implementation (``"compiled"``/``"scan"``).
+    #: A pure speed knob — both modes emit identical warnings — kept out
+    #: of the checkpoint config digest so artifacts stay interchangeable;
+    #: ``"scan"`` exists so the perf harness can measure the compiled
+    #: index against the original matcher end-to-end.
+    predictor_indexing: str = "compiled"
 
     def __post_init__(self) -> None:
         if self.prediction_window <= 0:
@@ -89,6 +100,11 @@ class FrameworkConfig:
         if self.dist_horizon_cap <= 0:
             raise ValueError(
                 f"dist_horizon_cap must be positive, got {self.dist_horizon_cap}"
+            )
+        if self.predictor_indexing not in INDEXING_MODES:
+            raise ValueError(
+                f"predictor_indexing must be one of {INDEXING_MODES}, "
+                f"got {self.predictor_indexing!r}"
             )
         if self.on_retrain_error not in ("raise", "degrade"):
             raise ValueError(
@@ -323,6 +339,7 @@ class DynamicMetaLearningFramework:
                     ensemble=cfg.ensemble,
                     dist_horizon_cap=cfg.dist_horizon_cap,
                     rule_weights=self._rule_weights(),
+                    indexing=cfg.predictor_indexing,
                 )
                 # Re-prime the fresh predictor with the last Wp seconds of
                 # history so precursors straddling the handover can still

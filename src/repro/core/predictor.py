@@ -24,6 +24,25 @@ re-arms every ``Wp`` seconds while no failure arrives — this reproduces
 the paper's observation that the method "cannot pinpoint the occurrence
 times of the failures, thereby giving many false alarms once the elapsed
 time since the last failure is large enough".
+
+**Per-rule window semantics.**  Count and statistical rules carry their
+own mined ``window``; matching thresholds them over occurrences with
+``now - t <= rule.window``, *not* over everything in the predictor-wide
+``Wp`` monitoring set.  (Earlier versions counted the whole ``Wp`` deque,
+so a rule with ``window < Wp`` over-counted and fired false warnings.)
+Since the monitoring set only retains ``Wp`` seconds of history, the
+effective counting window is ``min(rule.window, Wp)``.
+
+**Matching indices.**  With the default ``indexing="compiled"`` the
+F-List/E-List are precompiled into flat hash-joined per-code candidate
+lists: each event code maps directly to the association rules it can
+complete (with the *residual* antecedent precomputed) and matching
+checks an incrementally maintained occurrence count per code instead of
+rebuilding a set from the whole monitoring deque; count rules consult a
+per-code timestamp deque instead of scanning the full window.
+``indexing="scan"`` keeps the original per-event scans (same warnings,
+slower) so the speedup stays measurable on one harness
+(``repro bench --topic predictor_feed``).
 """
 
 from __future__ import annotations
@@ -57,6 +76,12 @@ from repro.raslog.store import EventLog
 #: paper's future-work list.
 ENSEMBLE_POLICIES = ("experts", "union", "weighted")
 
+#: Matching-index implementations: ``compiled`` (precompiled per-code
+#: candidate lists + incremental occurrence tracking, the default) and
+#: ``scan`` (the original per-event deque scans, kept so the benchmark
+#: harness can measure the index speedup on identical output).
+INDEXING_MODES = ("compiled", "scan")
+
 
 @dataclass
 class PredictorState:
@@ -87,12 +112,17 @@ class Predictor:
         dist_horizon_cap: float = 43200.0,
         rule_weights: "dict[RuleKey, float] | None" = None,
         weight_threshold: float = 0.5,
+        indexing: str = "compiled",
     ) -> None:
         if window <= 0:
             raise ValueError(f"prediction window must be positive, got {window}")
         if ensemble not in ENSEMBLE_POLICIES:
             raise ValueError(
                 f"ensemble must be one of {ENSEMBLE_POLICIES}, got {ensemble!r}"
+            )
+        if indexing not in INDEXING_MODES:
+            raise ValueError(
+                f"indexing must be one of {INDEXING_MODES}, got {indexing!r}"
             )
         if dist_horizon_cap <= 0:
             raise ValueError(
@@ -142,13 +172,85 @@ class Predictor:
             for item in rule.antecedent:
                 self.e_list.setdefault(item, set()).add(rule.consequent)
 
+        self.indexing = indexing
+        self._compiled = indexing == "compiled"
+        if self._compiled:
+            self._compile_indices()
+
         self.state = PredictorState()
+        self._rebuild_tracking()
 
         # Instrument handles are cached per registry so the per-event
         # hot path pays one identity check, not a registry lookup.
         self._obs_registry = None
         self._feed_histogram = None
         self._warning_counter = None
+
+    # -- compiled matching indices -------------------------------------------
+
+    def _compile_indices(self) -> None:
+        """Flatten the F-List/E-List into per-code hash-join candidates.
+
+        For every event code that can participate in an association rule,
+        precompute the rules it may complete — in exactly the order the
+        scan path visits them (consequents sorted, then F-List insertion
+        order) so both index modes emit identical warning sequences — and
+        pair each with its *residual* antecedent (the other items whose
+        presence in the monitoring window must be checked).
+        """
+        self._assoc_candidates: dict[
+            str, tuple[tuple[AssociationRule, tuple[str, ...]], ...]
+        ] = {}
+        for code, consequents in self.e_list.items():
+            candidates = []
+            for fatal_code in sorted(consequents):
+                for rule in self.f_list[fatal_code]:
+                    if code in rule.antecedent:
+                        others = tuple(
+                            item for item in sorted(rule.antecedent)
+                            if item != code
+                        )
+                        candidates.append((rule, others))
+            self._assoc_candidates[code] = tuple(candidates)
+        #: codes whose in-window occurrence count matters for hash joins
+        self._acount_codes = frozenset(self.e_list)
+
+    def _rebuild_tracking(self) -> None:
+        """(Re)derive incremental occurrence tracking from ``state``.
+
+        Called on construction and after :meth:`restore_state`; the
+        tracked structures are pure functions of the monitoring deque, so
+        they are never checkpointed.
+        """
+        self._refractory_sweep_at = float("-inf")
+        if not self._compiled:
+            return
+        #: per-code occurrence count inside the monitoring window
+        self._acounts: dict[str, int] = {}
+        #: per-count-rule-code timestamps inside the monitoring window
+        self._ctimes: dict[str, deque] = {c: deque() for c in self.count_rules}
+        for t, code in self.state.monitoring:
+            self._track_append(t, code)
+
+    def _track_append(self, t: float, code: str) -> None:
+        """Maintain the compiled-index tracking for one appended event."""
+        if code in self._acount_codes:
+            self._acounts[code] = self._acounts.get(code, 0) + 1
+        times = self._ctimes.get(code)
+        if times is not None:
+            times.append(t)
+
+    def _track_popleft(self, code: str) -> None:
+        """Undo :meth:`_track_append` for the oldest event of ``code``."""
+        if code in self._acount_codes:
+            remaining = self._acounts[code] - 1
+            if remaining:
+                self._acounts[code] = remaining
+            else:
+                del self._acounts[code]
+        times = self._ctimes.get(code)
+        if times is not None:
+            times.popleft()
 
     # -- internals ----------------------------------------------------------
 
@@ -163,11 +265,27 @@ class Predictor:
     def _prune(self, now: float) -> None:
         horizon = now - self.window
         monitoring = self.state.monitoring
-        while monitoring and monitoring[0][0] < horizon:
-            monitoring.popleft()
+        if self._compiled:
+            while monitoring and monitoring[0][0] < horizon:
+                _, code = monitoring.popleft()
+                self._track_popleft(code)
+        else:
+            while monitoring and monitoring[0][0] < horizon:
+                monitoring.popleft()
         fatals = self.state.recent_fatals
         while fatals and fatals[0] < horizon:
             fatals.popleft()
+        # Amortized sweep of per-rule refractory stamps: an entry older
+        # than the refractory can never suppress again, so dropping it is
+        # invisible to matching — but without the sweep ``last_fired``
+        # grows one entry per retired rule key over week-scale streams.
+        last_fired = self.state.last_fired
+        if last_fired and now >= self._refractory_sweep_at:
+            cutoff = now - self.refractory
+            stale = [key for key, t in last_fired.items() if t <= cutoff]
+            for key in stale:
+                del last_fired[key]
+            self._refractory_sweep_at = now + self.refractory
 
     def _fire(
         self, now: float, predicted: str, rule_key: RuleKey, learner: str
@@ -185,12 +303,36 @@ class Predictor:
         )
 
     def _match_association(self, event: RASEvent) -> list[FailureWarning]:
+        if not self._compiled:
+            return self._match_association_scan(event)
+        candidates = self._assoc_candidates.get(event.entry_data)
+        if not candidates:
+            return []
+        # Hash join: the triggering code keys straight into the rules it
+        # can complete; the residual antecedent is checked against the
+        # incrementally maintained per-code occurrence counts.  (The
+        # triggering event itself belongs to the monitoring set E —
+        # Algorithm 2 appends before matching — which the residual
+        # encodes by construction.)
+        counts = self._acounts
+        warnings: list[FailureWarning] = []
+        for rule, others in candidates:
+            for item in others:
+                if not counts.get(item):
+                    break
+            else:
+                w = self._fire(
+                    event.timestamp, rule.consequent, rule.key, "association"
+                )
+                if w is not None:
+                    warnings.append(w)
+        return warnings
+
+    def _match_association_scan(self, event: RASEvent) -> list[FailureWarning]:
         code = event.entry_data
         possible = self.e_list.get(code)
         if not possible:
             return []
-        # The triggering event itself belongs to the monitoring set E
-        # (Algorithm 2 appends before matching).
         recent_codes = {c for _, c in self.state.monitoring}
         recent_codes.add(code)
         warnings: list[FailureWarning] = []
@@ -209,29 +351,57 @@ class Predictor:
         candidates = self.count_rules.get(code)
         if not candidates:
             return []
-        occurrences = 1 + sum(
-            1 for _, c in self.state.monitoring if c == code
-        )
+        now = event.timestamp
         warnings: list[FailureWarning] = []
-        for rule in candidates:
-            if occurrences >= rule.count:
-                w = self._fire(event.timestamp, rule.consequent, rule.key, "count")
-                if w is not None:
-                    warnings.append(w)
+        if self._compiled:
+            times = self._ctimes[code]
+            for rule in candidates:
+                cutoff = now - rule.window
+                occurrences = 1  # the triggering event
+                for t in reversed(times):
+                    if t < cutoff:
+                        break
+                    occurrences += 1
+                if occurrences >= rule.count:
+                    w = self._fire(now, rule.consequent, rule.key, "count")
+                    if w is not None:
+                        warnings.append(w)
+        else:
+            for rule in candidates:
+                cutoff = now - rule.window
+                occurrences = 1 + sum(
+                    1
+                    for t, c in self.state.monitoring
+                    if c == code and t >= cutoff
+                )
+                if occurrences >= rule.count:
+                    w = self._fire(now, rule.consequent, rule.key, "count")
+                    if w is not None:
+                        warnings.append(w)
         return warnings
 
     def _match_statistical(self, event: RASEvent) -> list[FailureWarning]:
-        count = len(self.state.recent_fatals)
-        # Most-specific expert: the largest k the observed burst satisfies.
+        fatals = self.state.recent_fatals
+        now = event.timestamp
+        # Most-specific expert: the largest k whose own window holds a
+        # burst of at least k failures (the deque is time-ordered, so
+        # counting walks back from the newest and stops early).
         best: StatisticalRule | None = None
         for rule in self.statistical_rules:
-            if count >= rule.k:
-                best = rule
-            else:
-                break
+            if len(fatals) < rule.k:
+                continue
+            cutoff = now - rule.window
+            count = 0
+            for t in reversed(fatals):
+                if t < cutoff:
+                    break
+                count += 1
+                if count >= rule.k:
+                    best = rule
+                    break
         if best is None:
             return []
-        w = self._fire(event.timestamp, ANY_FAILURE, best.key, "statistical")
+        w = self._fire(now, ANY_FAILURE, best.key, "statistical")
         return [w] if w is not None else []
 
     def _check_distribution(self, now: float) -> list[FailureWarning]:
@@ -304,6 +474,8 @@ class Predictor:
                 state.last_fatal_time = t
                 state.dist_next_allowed = t
             state.monitoring.append((t, code))
+            if self._compiled:
+                self._track_append(t, code)
         if now is not None:
             if now < state.clock:
                 raise ValueError(
@@ -347,6 +519,8 @@ class Predictor:
             warnings.extend(self._match_count(event))
 
         self.state.monitoring.append((now, code))
+        if self._compiled:
+            self._track_append(now, code)
 
         if self.ensemble == "experts":
             if not warnings:
@@ -487,3 +661,4 @@ class Predictor:
             },
             dist_next_allowed=snapshot["dist_next_allowed"],
         )
+        self._rebuild_tracking()

@@ -245,6 +245,7 @@ class SessionCore:
             ensemble=cfg.ensemble,
             dist_horizon_cap=cfg.dist_horizon_cap,
             rule_weights=self.repository.precision_weights(),
+            indexing=cfg.predictor_indexing,
         )
 
     def _schedule_after(self, week: int) -> None:

@@ -135,7 +135,12 @@ class Histogram:
 
     def snapshot(self) -> dict:
         with self._lock:
+            # min/max must be copied under the same lock as count/sum and
+            # the reservoir: reading them after release races a concurrent
+            # observe() from an executor worker and can tear the snapshot
+            # (e.g. min > p50).
             count, total = self._count, self._sum
+            low, high = self._min, self._max
             sample = sorted(self._reservoir)
         if not count:
             return {"type": "histogram", "count": 0}
@@ -148,8 +153,8 @@ class Histogram:
             "count": count,
             "sum": total,
             "mean": total / count,
-            "min": self._min,
-            "max": self._max,
+            "min": low,
+            "max": high,
             "p50": q(0.50),
             "p95": q(0.95),
             "p99": q(0.99),

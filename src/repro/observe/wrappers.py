@@ -69,6 +69,18 @@ class MeteredSession:
         self._record(new, 1)
         return new
 
+    def ingest_batch(self, events: "list[RASEvent]") -> "list[FailureWarning]":
+        batch = getattr(self.inner, "ingest_batch", None)
+        with observe.timer(f"{self.prefix}.ingest", **self.labels):
+            if batch is not None:
+                new = batch(events)
+            else:
+                new = []
+                for event in events:
+                    new.extend(self.inner.ingest(event))
+        self._record(new, len(events))
+        return new
+
     def advance(self, now: float) -> "list[FailureWarning]":
         new = self.inner.advance(now)
         self._record(new, 0)

@@ -1,0 +1,34 @@
+"""Performance harness: BENCH_* trajectory artifacts and bench suites.
+
+Every performance measurement in the repo — the ``benchmarks/bench_*.py``
+pytest-benchmark modules and the ``repro bench`` CLI verb — routes
+through this package, which writes one ``BENCH_<topic>.json`` artifact
+per topic and *appends* each run to the file's run-over-run trajectory.
+That turns "it felt faster" into a committed, diffable series:
+``scripts/check_perf_regression.py`` gates the newest run against its
+baseline, and optimisations land with their before/after numbers
+recorded in the same file.
+"""
+
+from repro.perf.harness import (
+    BENCH_SCHEMA_VERSION,
+    Metric,
+    bench_path,
+    load_trajectory,
+    machine_fingerprint,
+    params_digest,
+    record_run,
+)
+from repro.perf.suites import SUITES, run_suite
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Metric",
+    "SUITES",
+    "bench_path",
+    "load_trajectory",
+    "machine_fingerprint",
+    "params_digest",
+    "record_run",
+    "run_suite",
+]

@@ -1,0 +1,192 @@
+"""BENCH_<topic>.json artifact format and trajectory persistence.
+
+One file per *topic* (``BENCH_service_throughput.json``,
+``BENCH_predictor_feed.json``, ...), holding an append-only trajectory::
+
+    {
+      "schema": 1,
+      "topic": "predictor_feed",
+      "runs": [
+        {
+          "timestamp": "2026-08-08T12:00:00+00:00",
+          "machine": {"fingerprint": "a1b2...", "python": "3.11.7", ...},
+          "params": {"scale": 0.5, "smoke": false, ...},
+          "params_digest": "9c41...",
+          "metrics": {
+            "events_per_sec_compiled":
+              {"value": 52100.0, "unit": "events/s", "higher_is_better": true},
+            ...
+          }
+        },
+        ...
+      ]
+    }
+
+Runs are appended, never rewritten, so the committed file *is* the
+perf history of the branch.  Two fingerprints make runs comparable:
+
+* ``machine`` identifies the hardware/interpreter — absolute numbers
+  from different machines are not comparable, only dimensionless
+  ``"ratio"`` metrics are (the regression gate enforces exactly that);
+* ``params_digest`` identifies the workload — the gate only compares
+  runs measuring the same thing (e.g. smoke runs against smoke runs).
+
+Writes are atomic (temp file + ``os.replace``) so a crashed bench run
+can corrupt, at worst, nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Bump when the run shape changes incompatibly; the regression gate
+#: refuses to compare across schema versions.
+BENCH_SCHEMA_VERSION = 1
+
+#: Dimensionless metrics stay comparable across machines.
+RATIO_UNIT = "ratio"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured number with enough metadata to gate regressions on."""
+
+    value: float
+    unit: str
+    #: direction of "better": True for throughput/speedups, False for
+    #: latencies/durations.
+    higher_is_better: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Metric":
+        return Metric(
+            value=float(data["value"]),
+            unit=str(data["unit"]),
+            higher_is_better=bool(data.get("higher_is_better", False)),
+        )
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Hardware/interpreter identity attached to every run.
+
+    ``fingerprint`` digests the identifying fields so consumers compare
+    one short string; the readable fields ride along for humans.
+    """
+    info = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    digest = hashlib.sha256(
+        json.dumps(info, sort_keys=True).encode()
+    ).hexdigest()[:16]
+    return {"fingerprint": digest, **info}
+
+
+def params_digest(params: Mapping[str, Any]) -> str:
+    """Stable short digest of a run's workload parameters."""
+    return hashlib.sha256(
+        json.dumps(params, sort_keys=True, default=str).encode()
+    ).hexdigest()[:16]
+
+
+def bench_path(topic: str, directory: "str | Path" = ".") -> Path:
+    if not topic or any(c in topic for c in "/\\ "):
+        raise ValueError(f"invalid bench topic {topic!r}")
+    return Path(directory) / f"BENCH_{topic}.json"
+
+
+def load_trajectory(path: "str | Path") -> dict[str, Any]:
+    """Read and validate one BENCH_* file."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {data.get('schema')!r}, "
+            f"expected {BENCH_SCHEMA_VERSION}"
+        )
+    if not isinstance(data.get("runs"), list):
+        raise ValueError(f"{path}: missing 'runs' list")
+    return data
+
+
+def record_run(
+    topic: str,
+    metrics: Mapping[str, "Metric | Mapping[str, Any]"],
+    params: Mapping[str, Any],
+    directory: "str | Path" = ".",
+    timestamp: "str | None" = None,
+) -> Path:
+    """Append one run to ``BENCH_<topic>.json``, creating it if missing.
+
+    Returns the artifact path.  ``timestamp`` defaults to now (UTC,
+    ISO-8601); tests pass a fixed one for reproducible files.
+    """
+    path = bench_path(topic, directory)
+    if path.exists():
+        data = load_trajectory(path)
+        if data["topic"] != topic:
+            raise ValueError(
+                f"{path}: holds topic {data['topic']!r}, not {topic!r}"
+            )
+    else:
+        data = {"schema": BENCH_SCHEMA_VERSION, "topic": topic, "runs": []}
+
+    rendered: dict[str, Any] = {}
+    for name, metric in metrics.items():
+        if not isinstance(metric, Metric):
+            metric = Metric.from_dict(metric)
+        rendered[name] = metric.as_dict()
+    run = {
+        "timestamp": timestamp
+        or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_fingerprint(),
+        "params": dict(params),
+        "params_digest": params_digest(params),
+        "metrics": rendered,
+    }
+    data["runs"].append(run)
+
+    tmp = path.with_suffix(".json.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def quantile_us(latencies_s: "list[float]", q: float) -> float:
+    """Nearest-rank ``q``-quantile of a latency sample, in microseconds."""
+    if not latencies_s:
+        return 0.0
+    ordered = sorted(latencies_s)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index] * 1e6
+
+
+def _main() -> int:  # pragma: no cover - convenience entry
+    for arg in sys.argv[1:]:
+        data = load_trajectory(arg)
+        print(f"{arg}: topic={data['topic']} runs={len(data['runs'])}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

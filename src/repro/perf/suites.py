@@ -1,0 +1,437 @@
+"""Runnable bench suites behind ``repro bench``.
+
+Each suite builds a deterministic synthetic workload, measures one slice
+of the online path, and returns ``(metrics, params)`` for
+:func:`repro.perf.harness.record_run`.  Where a suite covers an
+optimised path, it measures the *pre-optimisation* implementation on
+the same workload in the same run — so every BENCH_* entry carries its
+own before/after pair and the speedup is a recorded number, not a
+claim:
+
+* ``predictor_feed`` — per-event matcher latency/throughput, legacy
+  ``"scan"`` matching vs the compiled hash-joined indices (asserting
+  warning-for-warning equivalence while it measures);
+* ``service_throughput`` — end-to-end streaming events/sec, one session
+  vs a sharded fleet, plus retrain latency and ingest p50/p99;
+* ``journal_append`` — WAL appends/sec, per-record fsync vs batched
+  group commit, plus crash-recovery replay time;
+* ``preprocess_filter`` — rows/sec through dedup + compression,
+  vectorized vs the python-loop reference (asserting identical output).
+
+``smoke=True`` shrinks every workload to CI scale; smoke and full runs
+carry different ``params_digest`` values so the regression gate never
+compares one against the other.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.perf.harness import Metric, quantile_us, record_run
+
+#: Same seed as benchmarks/conftest.py, so suites and pytest benches
+#: describe the same traces.
+SUITE_SEED = 2008
+
+#: Records per append_batch group commit in the journal suite.
+JOURNAL_BATCH = 64
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+# -- predictor_feed ----------------------------------------------------
+
+
+def _mined_predictor_inputs(
+    scale: float, train_weeks: int, feed_weeks: int, density: float
+):
+    from dataclasses import replace
+
+    from repro.core.knowledge import RuleRecord
+    from repro.core.reviser import Reviser
+    from repro.experiments.config import make_log
+    from repro.learners.registry import DEFAULT_LEARNERS, create_learner
+    from repro.raslog.store import EventLog
+    from repro.utils.timeutil import WEEK_SECONDS
+
+    window = 300.0
+    syn = make_log(
+        "SDSC", scale=scale, weeks=train_weeks + feed_weeks, seed=SUITE_SEED
+    )
+    log, catalog = syn.clean, syn.catalog
+    training = log.between(0.0, train_weeks * WEEK_SECONDS)
+    feed = log.between(
+        train_weeks * WEEK_SECONDS, (train_weeks + feed_weeks) * WEEK_SECONDS
+    )
+    if density > 1.0 and len(feed):
+        # Compress inter-arrivals by ``density``: the matcher's cost is
+        # proportional to window occupancy, and the quiet synthetic
+        # average (~0.1 events per 300 s window) measures nothing.  A
+        # compressed stream reproduces the event-storm regime — the load
+        # a deployed predictor must actually keep up with.  Both
+        # indexing modes see the identical compressed stream, so the
+        # before/after comparison stays apples-to-apples.
+        t0 = float(feed.timestamps[0])
+        feed = EventLog(
+            tuple(
+                replace(e, timestamp=t0 + (e.timestamp - t0) / density)
+                for e in feed
+            ),
+            origin=feed.origin,
+            _presorted=True,
+        )
+
+    records, seen = [], set()
+    for name in DEFAULT_LEARNERS:
+        learner = create_learner(name, catalog=catalog)
+        for rule in learner.train(training, window):
+            if rule.key not in seen:
+                seen.add(rule.key)
+                records.append(
+                    RuleRecord(rule=rule, learner=name, trained_at_week=0)
+                )
+    revision = Reviser(min_roc=0.7, catalog=catalog, tick=60.0).revise(
+        records, training, window
+    )
+    rules = [r.rule for r in revision.kept]
+    return rules, catalog, feed, window
+
+
+def suite_predictor_feed(smoke: bool = False) -> tuple[dict, dict]:
+    """Matcher hot path: scan (pre-PR) vs compiled indices, same stream."""
+    from repro.core.predictor import Predictor
+
+    scale, train_weeks, feed_weeks, density = (
+        (1.0, 2, 1, 1000.0) if smoke else (1.0, 8, 4, 5000.0)
+    )
+    rules, catalog, feed, window = _mined_predictor_inputs(
+        scale, train_weeks, feed_weeks, density
+    )
+
+    results: dict[str, tuple[float, list[float], list]] = {}
+    for mode in ("scan", "compiled"):
+        predictor = Predictor(
+            rules, window=window, catalog=catalog, indexing=mode
+        )
+        if len(feed):
+            predictor.state.clock = float(feed.timestamps[0])
+        latencies: list[float] = []
+        warnings: list = []
+        start = time.perf_counter()
+        for event in feed:
+            t0 = time.perf_counter()
+            new = predictor.observe(event)
+            latencies.append(time.perf_counter() - t0)
+            warnings.extend(new)
+        elapsed = time.perf_counter() - start
+        results[mode] = (elapsed, latencies, warnings)
+
+    t_scan, _, w_scan = results["scan"]
+    t_compiled, lat, w_compiled = results["compiled"]
+    # The indices are a pure speed knob: any divergence here means the
+    # compiled matcher changed semantics, which is a bug, not a result.
+    assert w_compiled == w_scan, (
+        f"scan/compiled warning divergence: "
+        f"{len(w_scan)} vs {len(w_compiled)} warnings"
+    )
+
+    n = max(len(feed), 1)
+    metrics = {
+        "events_per_sec_scan": Metric(n / t_scan, "events/s", True),
+        "events_per_sec_compiled": Metric(n / t_compiled, "events/s", True),
+        "speedup_compiled_vs_scan": Metric(t_scan / t_compiled, "ratio", True),
+        "feed_p50_us": Metric(quantile_us(lat, 0.50), "us"),
+        "feed_p99_us": Metric(quantile_us(lat, 0.99), "us"),
+        "n_events": Metric(float(len(feed)), "count"),
+        "n_warnings": Metric(float(len(w_compiled)), "count"),
+        "n_rules": Metric(float(len(rules)), "count"),
+    }
+    params = {
+        "suite": "predictor_feed",
+        "smoke": smoke,
+        "scale": scale,
+        "train_weeks": train_weeks,
+        "feed_weeks": feed_weeks,
+        "density": density,
+        "seed": SUITE_SEED,
+    }
+    return metrics, params
+
+
+# -- service_throughput ------------------------------------------------
+
+
+def suite_service_throughput(smoke: bool = False) -> tuple[dict, dict]:
+    """End-to-end streaming: one session vs a sharded fleet."""
+    from repro.core.framework import FrameworkConfig
+    from repro.core.online import OnlinePredictionSession
+    from repro.observe import MetricsRegistry, use_registry
+    from repro.preprocess.pipeline import PreprocessingPipeline
+    from repro.raslog.generator import GeneratorConfig, generate_log
+    from repro.raslog.profiles import SDSC_PROFILE
+    from repro.service import PredictionService
+
+    scale, weeks, train_weeks, retrain_weeks, n_shards = (
+        (0.5, 8, 2, 2, 2) if smoke else (0.5, 16, 4, 4, 4)
+    )
+    trace = generate_log(
+        SDSC_PROFILE, GeneratorConfig(scale=scale, weeks=weeks, seed=SUITE_SEED)
+    )
+    log = PreprocessingPipeline().run(trace.raw).clean
+    log = log.with_origin(trace.raw.origin)
+
+    def config() -> FrameworkConfig:
+        return FrameworkConfig(
+            initial_train_weeks=train_weeks, retrain_weeks=retrain_weeks
+        )
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        session = OnlinePredictionSession(config(), origin=log.origin)
+        start = time.perf_counter()
+        for event in log:
+            session.ingest(event)
+        t_single = time.perf_counter() - start
+        single = session.summary()
+        session.close()
+
+        service = PredictionService(
+            config(), shards=n_shards, origin=log.origin
+        )
+        start = time.perf_counter()
+        for event in log:
+            service.ingest(event)
+        service.flush()
+        t_fleet = time.perf_counter() - start
+        fleet = service.summary()
+        service.close()
+
+    assert fleet.n_events == single.n_events == len(log)
+    snapshot = registry.snapshot()
+    ingest = snapshot.get("online.ingest", {})
+    retrain = snapshot.get("online.retrain", {})
+
+    n = max(len(log), 1)
+    metrics = {
+        "events_per_sec_1_shard": Metric(n / t_single, "events/s", True),
+        f"events_per_sec_{n_shards}_shards": Metric(
+            n / t_fleet, "events/s", True
+        ),
+        "shard_scaling_ratio": Metric(t_single / t_fleet, "ratio", True),
+        "ingest_p50_us": Metric(ingest.get("p50", 0.0) * 1e6, "us"),
+        "ingest_p99_us": Metric(ingest.get("p99", 0.0) * 1e6, "us"),
+        "retrain_latency_s": Metric(retrain.get("mean", 0.0), "s"),
+        "n_events": Metric(float(len(log)), "count"),
+        "n_warnings": Metric(float(single.n_warnings), "count"),
+    }
+    params = {
+        "suite": "service_throughput",
+        "smoke": smoke,
+        "scale": scale,
+        "weeks": weeks,
+        "train_weeks": train_weeks,
+        "retrain_weeks": retrain_weeks,
+        "n_shards": n_shards,
+        "seed": SUITE_SEED,
+    }
+    return metrics, params
+
+
+# -- journal_append ----------------------------------------------------
+
+
+def suite_journal_append(smoke: bool = False) -> tuple[dict, dict]:
+    """WAL overhead: per-record fsync vs batched group commit."""
+    from repro.resilience.journal import EventJournal
+
+    n = 1000 if smoke else 5000
+    records = [
+        {
+            "kind": "ingest",
+            "event": {
+                "timestamp": float(i),
+                "location": f"R{i % 8:02d}-M0-N00",
+                "job_id": i % 64,
+                "entry_data": "KERNEL_PANIC",
+            },
+        }
+        for i in range(n)
+    ]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        single = EventJournal(Path(tmp) / "single", fsync="always")
+        _, t_single = _timed(
+            lambda: [single.append(r) for r in records]
+        )
+        single.close()
+
+        batched = EventJournal(Path(tmp) / "batched", fsync="always")
+        _, t_batched = _timed(
+            lambda: [
+                batched.append_batch(records[i : i + JOURNAL_BATCH])
+                for i in range(0, n, JOURNAL_BATCH)
+            ]
+        )
+        batched.close()
+
+        # Recovery: reopen (torn-tail scan) + full replay of the log.
+        def recover() -> int:
+            journal = EventJournal(Path(tmp) / "batched", fsync="never")
+            count = sum(1 for _ in journal.replay())
+            journal.close()
+            return count
+
+        replayed, t_recover = _timed(recover)
+    assert replayed == n
+
+    metrics = {
+        "appends_per_sec_single": Metric(n / t_single, "records/s", True),
+        "appends_per_sec_batched": Metric(n / t_batched, "records/s", True),
+        "batch_speedup": Metric(t_single / t_batched, "ratio", True),
+        "recovery_replay_s": Metric(t_recover, "s"),
+        "recovery_records_per_sec": Metric(n / t_recover, "records/s", True),
+        "n_records": Metric(float(n), "count"),
+    }
+    params = {
+        "suite": "journal_append",
+        "smoke": smoke,
+        "n_records": n,
+        "batch": JOURNAL_BATCH,
+        "fsync": "always",
+    }
+    return metrics, params
+
+
+# -- preprocess_filter -------------------------------------------------
+
+
+def _coalesce_reference(log, threshold: float, key_fn):
+    """Pre-vectorization ``_coalesce``: python grouping, per-group numpy."""
+    from collections import defaultdict
+
+    from repro.raslog.store import EventLog
+
+    if threshold == 0 or len(log) == 0:
+        return log
+    groups: dict[object, list[int]] = defaultdict(list)
+    for i, event in enumerate(log):
+        groups[key_fn(event)].append(i)
+    keep = np.zeros(len(log), dtype=bool)
+    times = log.timestamps
+    for indices in groups.values():
+        idx = np.asarray(indices)
+        ts = times[idx]
+        starts = np.empty(len(idx), dtype=bool)
+        starts[0] = True
+        if len(idx) > 1:
+            np.greater(np.diff(ts), threshold, out=starts[1:])
+        keep[idx[starts]] = True
+    kept = tuple(e for i, e in enumerate(log.events) if keep[i])
+    return EventLog(kept, origin=log.origin, _presorted=True)
+
+
+def _deduplicate_reference(log):
+    """Pre-vectorization ``deduplicate_exact``: first-seen-wins set scan."""
+    from repro.raslog.store import EventLog
+
+    seen: set = set()
+    kept = []
+    for e in log:
+        sig = (e.timestamp, e.location, e.job_id, e.entry_data)
+        if sig in seen:
+            continue
+        seen.add(sig)
+        kept.append(e)
+    return EventLog(kept, origin=log.origin, _presorted=True)
+
+
+def suite_preprocess_filter(smoke: bool = False) -> tuple[dict, dict]:
+    """Filtering throughput: vectorized vs python-loop reference."""
+    from repro.experiments.config import make_log
+    from repro.preprocess.filtering import compress, deduplicate_exact
+
+    scale, weeks = (0.3, 3) if smoke else (1.0, 8)
+    threshold = 300.0
+    syn = make_log(
+        "SDSC", scale=scale, weeks=weeks, seed=SUITE_SEED, duplicates=True
+    )
+    raw = syn.raw
+
+    def reference():
+        deduped = _deduplicate_reference(raw)
+        temporal = _coalesce_reference(
+            deduped,
+            threshold,
+            key_fn=lambda e: (e.location, e.job_id, e.entry_data),
+        )
+        return _coalesce_reference(
+            temporal, threshold, key_fn=lambda e: (e.job_id, e.entry_data)
+        )
+
+    def vectorized():
+        out, _ = compress(deduplicate_exact(raw), threshold)
+        return out
+
+    ref_out, t_ref = _timed(reference)
+    vec_out, t_vec = _timed(vectorized)
+    # The vectorized filter must be a pure reimplementation.
+    assert vec_out.events == ref_out.events, (
+        f"filter output divergence: {len(ref_out)} vs {len(vec_out)} rows"
+    )
+
+    n = max(len(raw), 1)
+    metrics = {
+        "rows_per_sec_reference": Metric(n / t_ref, "rows/s", True),
+        "rows_per_sec_vectorized": Metric(n / t_vec, "rows/s", True),
+        "filter_speedup": Metric(t_ref / t_vec, "ratio", True),
+        "n_rows_in": Metric(float(len(raw)), "count"),
+        "n_rows_out": Metric(float(len(vec_out)), "count"),
+    }
+    params = {
+        "suite": "preprocess_filter",
+        "smoke": smoke,
+        "scale": scale,
+        "weeks": weeks,
+        "threshold": threshold,
+        "seed": SUITE_SEED,
+    }
+    return metrics, params
+
+
+# -- registry ----------------------------------------------------------
+
+SUITES: dict[str, Callable[[bool], tuple[dict, dict]]] = {
+    "predictor_feed": suite_predictor_feed,
+    "service_throughput": suite_service_throughput,
+    "journal_append": suite_journal_append,
+    "preprocess_filter": suite_preprocess_filter,
+}
+
+
+def run_suite(
+    name: str,
+    smoke: bool = False,
+    directory: "str | Path" = ".",
+    timestamp: "str | None" = None,
+) -> tuple[Path, Mapping[str, Metric]]:
+    """Run one suite and append its run to ``BENCH_<name>.json``."""
+    try:
+        suite = SUITES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench suite {name!r}; have {sorted(SUITES)}"
+        ) from None
+    metrics, params = suite(smoke)
+    path = record_run(
+        name, metrics, params, directory=directory, timestamp=timestamp
+    )
+    return path, metrics

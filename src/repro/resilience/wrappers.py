@@ -112,6 +112,24 @@ class JournalingSession:
         self._append({"kind": "ingest", "event": event.as_dict()})
         return self.inner.ingest(event)
 
+    def ingest_batch(self, events: "list[RASEvent]") -> "list[FailureWarning]":
+        """Journal a whole batch with one group commit, then feed it.
+
+        Write-ahead ordering is preserved batch-wise: every record is
+        durable (one ``os.write`` + one group fsync via
+        :meth:`~repro.resilience.journal.EventJournal.append_batch`)
+        before the *first* event may change inner state, so recovery
+        replays at least as much as was processed.
+        """
+        if not self.suppress:
+            self.journal.append_batch(
+                [{"kind": "ingest", "event": e.as_dict()} for e in events]
+            )
+        new: "list[FailureWarning]" = []
+        for e in events:
+            new.extend(self.inner.ingest(e))
+        return new
+
     def advance(self, now: float) -> "list[FailureWarning]":
         self._append({"kind": "advance", "now": now})
         return self.inner.advance(now)

@@ -88,6 +88,49 @@ class TestHistogram:
         h.observe(0.5)
         assert h.snapshot()["per_second"] == pytest.approx(2.0)
 
+    def test_snapshot_consistent_under_concurrent_observes(self):
+        # Regression: min/max used to be read after the lock was
+        # released, so a snapshot taken during a concurrent observe()
+        # could tear (e.g. a max belonging to a newer count than the
+        # copied sum).  Every snapshot must be internally consistent.
+        h = MetricsRegistry().histogram("h")
+        stop = threading.Event()
+        errors: list[AssertionError] = []
+
+        def writer():
+            v = 0
+            while not stop.is_set():
+                v += 1
+                h.observe(float(v))
+
+        def reader():
+            while not stop.is_set():
+                snap = h.snapshot()
+                if not snap["count"]:
+                    continue
+                try:
+                    assert snap["min"] <= snap["mean"] <= snap["max"]
+                    assert snap["min"] <= snap["p50"] <= snap["max"]
+                    # The writer's n-th observation has value n, so a
+                    # consistent snapshot has max == count exactly; a
+                    # torn one reads a newer max than the copied count.
+                    assert snap["max"] == snap["count"]
+                    assert snap["sum"] <= snap["count"] * snap["max"]
+                except AssertionError as exc:  # pragma: no cover - failure
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        threading.Event().wait(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+
 
 class TestRegistry:
     def test_get_or_create_is_stable(self):

@@ -1,0 +1,206 @@
+"""BENCH_* artifact format stability and the regression gate.
+
+The committed BENCH files are consumed by CI (the gate) and by future
+sessions reading the perf trajectory, so their shape is a contract:
+these tests pin the schema key-set and prove the gate actually trips on
+an injected slowdown — and only on one it should trip on.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.perf.harness import (
+    BENCH_SCHEMA_VERSION,
+    Metric,
+    bench_path,
+    load_trajectory,
+    machine_fingerprint,
+    params_digest,
+    record_run,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_perf_regression",
+        REPO_ROOT / "scripts" / "check_perf_regression.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves string annotations through sys.modules.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+METRICS = {
+    "events_per_sec": Metric(1000.0, "events/s", higher_is_better=True),
+    "p99_us": Metric(50.0, "us"),
+    "speedup": Metric(1.5, "ratio", higher_is_better=True),
+    "n_events": Metric(500.0, "count"),
+}
+PARAMS = {"suite": "demo", "smoke": True, "scale": 0.5}
+
+
+def write_runs(tmp_path, runs, topic="demo"):
+    """Hand-author a trajectory file for gate tests."""
+    path = bench_path(topic, tmp_path)
+    path.write_text(
+        json.dumps(
+            {"schema": BENCH_SCHEMA_VERSION, "topic": topic, "runs": runs}
+        )
+    )
+    return path
+
+
+def make_run(metrics, params=PARAMS, machine=None):
+    return {
+        "timestamp": "2026-08-08T00:00:00+00:00",
+        "machine": machine or machine_fingerprint(),
+        "params": dict(params),
+        "params_digest": params_digest(params),
+        "metrics": {k: m.as_dict() for k, m in metrics.items()},
+    }
+
+
+class TestArtifactSchema:
+    def test_record_run_creates_and_appends(self, tmp_path):
+        path = record_run("demo", METRICS, PARAMS, directory=tmp_path)
+        assert path == tmp_path / "BENCH_demo.json"
+        record_run("demo", METRICS, PARAMS, directory=tmp_path)
+        data = load_trajectory(path)
+        assert data["schema"] == BENCH_SCHEMA_VERSION
+        assert data["topic"] == "demo"
+        assert len(data["runs"]) == 2
+
+    def test_run_key_set_is_stable(self, tmp_path):
+        """The per-run schema the gate and CI depend on."""
+        path = record_run("demo", METRICS, PARAMS, directory=tmp_path)
+        run = load_trajectory(path)["runs"][0]
+        assert set(run) == {
+            "timestamp",
+            "machine",
+            "params",
+            "params_digest",
+            "metrics",
+        }
+        assert set(run["machine"]) >= {"fingerprint", "python", "cpu_count"}
+        for metric in run["metrics"].values():
+            assert set(metric) == {"value", "unit", "higher_is_better"}
+
+    def test_topic_mismatch_rejected(self, tmp_path):
+        record_run("demo", METRICS, PARAMS, directory=tmp_path)
+        (tmp_path / "BENCH_other.json").write_text(
+            (tmp_path / "BENCH_demo.json").read_text()
+        )
+        with pytest.raises(ValueError, match="topic"):
+            record_run("other", METRICS, PARAMS, directory=tmp_path)
+
+    def test_schema_version_enforced(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": 99, "topic": "x", "runs": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_trajectory(path)
+
+    def test_bad_topic_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="topic"):
+            bench_path("../escape", tmp_path)
+
+    def test_params_digest_distinguishes_smoke(self):
+        full = dict(PARAMS, smoke=False)
+        assert params_digest(PARAMS) != params_digest(full)
+
+    def test_metric_round_trip(self):
+        metric = Metric(12.5, "events/s", higher_is_better=True)
+        assert Metric.from_dict(metric.as_dict()) == metric
+
+
+class TestRegressionGate:
+    def test_clean_pass(self, tmp_path, capsys):
+        gate = load_gate()
+        path = write_runs(
+            tmp_path, [make_run(METRICS), make_run(METRICS)]
+        )
+        assert gate.main([str(path)]) == 0
+
+    def test_injected_slowdown_trips(self, tmp_path):
+        gate = load_gate()
+        slowed = dict(METRICS, events_per_sec=Metric(600.0, "events/s", True))
+        path = write_runs(tmp_path, [make_run(METRICS), make_run(slowed)])
+        assert gate.main([str(path)]) == 1
+
+    def test_latency_regression_trips(self, tmp_path):
+        gate = load_gate()
+        slowed = dict(METRICS, p99_us=Metric(90.0, "us"))
+        path = write_runs(tmp_path, [make_run(METRICS), make_run(slowed)])
+        assert gate.main([str(path)]) == 1
+
+    def test_within_tolerance_passes(self, tmp_path):
+        gate = load_gate()
+        wobbly = dict(METRICS, events_per_sec=Metric(900.0, "events/s", True))
+        path = write_runs(tmp_path, [make_run(METRICS), make_run(wobbly)])
+        assert gate.main([str(path)]) == 0
+
+    def test_improvement_passes(self, tmp_path):
+        gate = load_gate()
+        faster = dict(METRICS, events_per_sec=Metric(5000.0, "events/s", True))
+        path = write_runs(tmp_path, [make_run(METRICS), make_run(faster)])
+        assert gate.main([str(path)]) == 0
+
+    def test_cross_machine_gates_only_ratios(self, tmp_path):
+        gate = load_gate()
+        other_machine = dict(machine_fingerprint(), fingerprint="elsewhere")
+        # Absolute throughput halves but the machine changed: not gated.
+        slowed = dict(METRICS, events_per_sec=Metric(500.0, "events/s", True))
+        path = write_runs(
+            tmp_path,
+            [make_run(METRICS), make_run(slowed, machine=other_machine)],
+        )
+        assert gate.main([str(path)]) == 0
+        # A regressed *ratio* metric is gated even cross-machine.
+        worse_ratio = dict(METRICS, speedup=Metric(1.0, "ratio", True))
+        path = write_runs(
+            tmp_path,
+            [make_run(METRICS), make_run(worse_ratio, machine=other_machine)],
+        )
+        assert gate.main([str(path)]) == 1
+
+    def test_counts_never_gated(self, tmp_path):
+        gate = load_gate()
+        shifted = dict(METRICS, n_events=Metric(900.0, "count"))
+        path = write_runs(tmp_path, [make_run(METRICS), make_run(shifted)])
+        assert gate.main([str(path)]) == 0
+
+    def test_baseline_matched_by_params_digest(self, tmp_path):
+        gate = load_gate()
+        full_params = dict(PARAMS, smoke=False)
+        # A slow full run between two smoke runs must not become the
+        # smoke candidate's baseline.
+        slow_full = {
+            k: Metric(m.value * 0.1, m.unit, m.higher_is_better)
+            for k, m in METRICS.items()
+        }
+        runs = [
+            make_run(METRICS),
+            make_run(slow_full, params=full_params),
+            make_run(METRICS),
+        ]
+        assert gate.main([str(write_runs(tmp_path, runs))]) == 0
+
+    def test_bootstrap_without_baseline_passes(self, tmp_path):
+        gate = load_gate()
+        path = write_runs(tmp_path, [make_run(METRICS)])
+        assert gate.main([str(path)]) == 0
+
+    def test_unreadable_file_errors(self, tmp_path):
+        gate = load_gate()
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json")
+        assert gate.main([str(path)]) == 2

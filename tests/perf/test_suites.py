@@ -1,0 +1,77 @@
+"""Smoke coverage for the bench suites and the `repro bench` verb.
+
+Only the cheap suites run here (journal + preprocess — both sub-second
+in smoke mode); the predictor/service suites share the same plumbing and
+are exercised by CI's bench-smoke job, not the unit tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.perf import SUITES, load_trajectory, run_suite
+
+
+class TestRunSuite:
+    def test_journal_append_records_trajectory(self, tmp_path):
+        path, metrics = run_suite(
+            "journal_append", smoke=True, directory=tmp_path
+        )
+        assert path == tmp_path / "BENCH_journal_append.json"
+        data = load_trajectory(path)
+        (run,) = data["runs"]
+        assert run["params"]["smoke"] is True
+        assert set(run["metrics"]) >= {
+            "appends_per_sec_single",
+            "appends_per_sec_batched",
+            "batch_speedup",
+            "recovery_replay_s",
+        }
+        # Group commit must actually beat per-record fsync.
+        assert metrics["batch_speedup"].value > 1.0
+
+    def test_preprocess_filter_asserts_equivalence(self, tmp_path):
+        path, metrics = run_suite(
+            "preprocess_filter", smoke=True, directory=tmp_path
+        )
+        data = load_trajectory(path)
+        assert data["topic"] == "preprocess_filter"
+        assert metrics["n_rows_out"].value < metrics["n_rows_in"].value
+
+    def test_second_run_appends(self, tmp_path):
+        run_suite("journal_append", smoke=True, directory=tmp_path)
+        path, _ = run_suite("journal_append", smoke=True, directory=tmp_path)
+        assert len(load_trajectory(path)["runs"]) == 2
+
+    def test_unknown_suite(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_suite("nope", directory=tmp_path)
+
+
+class TestBenchVerb:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert sorted(SUITES) == out
+
+    def test_runs_selected_suite(self, tmp_path, capsys):
+        rc = main(
+            [
+                "bench",
+                "--suite",
+                "preprocess_filter",
+                "--smoke",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "BENCH_preprocess_filter.json").exists()
+        assert "filter_speedup" in capsys.readouterr().out
+
+    def test_unknown_suite_exits_2(self, tmp_path):
+        rc = main(
+            ["bench", "--suite", "nope", "--out-dir", str(tmp_path)]
+        )
+        assert rc == 2

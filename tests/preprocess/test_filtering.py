@@ -209,3 +209,63 @@ class TestProperties:
         out, _ = compress(log, threshold)
         input_ids = {e.record_id for e in log}
         assert {e.record_id for e in out} <= input_ids
+
+
+class TestVectorizedEquivalence:
+    """The vectorized filter must match a direct per-group reference."""
+
+    @staticmethod
+    def _reference_coalesce(log, threshold, key_fn):
+        # The pre-vectorization algorithm, kept as a correctness oracle:
+        # group indices per key, chain-tuple each group independently.
+        from collections import defaultdict
+
+        from repro.raslog.store import EventLog
+
+        if threshold == 0 or len(log) == 0:
+            return log
+        groups = defaultdict(list)
+        for i, event in enumerate(log):
+            groups[key_fn(event)].append(i)
+        kept_idx = set()
+        for indices in groups.values():
+            last = None
+            for i in indices:
+                t = log.timestamps[i]
+                if last is None or t - last > threshold:
+                    kept_idx.add(i)
+                last = t
+        return EventLog(
+            tuple(e for i, e in enumerate(log.events) if i in kept_idx),
+            origin=log.origin,
+            _presorted=True,
+        )
+
+    @given(duplicate_streams(), st.floats(min_value=0.0, max_value=500.0))
+    def test_temporal_matches_reference(self, specs, threshold):
+        log = make_log(specs)
+        expected = self._reference_coalesce(
+            log, threshold, lambda e: (e.location, e.job_id, e.entry_data)
+        )
+        out, _ = temporal_compress(log, threshold)
+        assert out.events == expected.events
+
+    @given(duplicate_streams(), st.floats(min_value=0.0, max_value=500.0))
+    def test_spatial_matches_reference(self, specs, threshold):
+        log = make_log(specs)
+        expected = self._reference_coalesce(
+            log, threshold, lambda e: (e.job_id, e.entry_data)
+        )
+        out, _ = spatial_compress(log, threshold)
+        assert out.events == expected.events
+
+    @given(duplicate_streams())
+    def test_dedup_matches_first_seen_wins(self, specs):
+        log = make_log(specs)
+        seen, expected = set(), []
+        for e in log:
+            sig = (e.timestamp, e.location, e.job_id, e.entry_data)
+            if sig not in seen:
+                seen.add(sig)
+                expected.append(e)
+        assert deduplicate_exact(log).events == tuple(expected)
