@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the operational lifecycle::
+The subcommands cover the operational lifecycle::
 
     repro generate    # synthesize a Blue Gene/L trace (LogHub format)
     repro preprocess  # categorize + filter a raw log
@@ -8,14 +8,18 @@ Eight subcommands cover the operational lifecycle::
     repro predict     # replay a log against a rule file
     repro run         # full dynamic train-and-predict loop
                       # (--shard-by location / --shards N for a fleet)
+    repro serve       # long-running TCP ingestion server in front of a
+                      # fleet (micro-batching, backpressure, SIGTERM drain)
     repro recover     # crash-consistent restart: checkpoint + WAL replay
                       # (--fleet-dir recovers a whole sharded fleet)
     repro metrics     # stream a log and emit per-stage metrics as JSON
+    repro bench       # run perf suites, append BENCH_* trajectories
     repro experiment  # regenerate a paper table/figure
 
 All commands exchange logs in the LogHub BGL line format and rules in the
 JSON schema of :mod:`repro.core.serialization`, so each stage can be
-inspected and swapped independently.
+inspected and swapped independently; ``repro serve`` speaks the ndjson
+frame protocol of :mod:`repro.net.protocol` (see ``docs/protocol.md``).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import argparse
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro import observe
 from repro.core.framework import DynamicMetaLearningFramework, FrameworkConfig
@@ -450,6 +455,84 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """`repro serve`: TCP ingestion front-end over a prediction fleet.
+
+    With ``--fleet-dir`` pointing at an existing fleet (its manifest is
+    present), the fleet is recovered crash-consistently before serving —
+    so ``repro serve`` after a kill *is* the recovery path, and producers
+    only need to replay their unacknowledged tails.  SIGTERM/SIGINT
+    triggers a graceful drain: stop accepting, commit pending
+    micro-batches, checkpoint every shard, exit 0.
+    """
+    import asyncio
+
+    from repro.net.server import PredictionServer
+    from repro.service.service import MANIFEST_NAME
+
+    config = _framework_config(args)
+    executor = make_executor(args.executor, args.workers)
+    fleet_dir = args.fleet_dir
+    if fleet_dir and (Path(fleet_dir) / MANIFEST_NAME).exists():
+        service = PredictionService.recover(
+            fleet_dir,
+            config,
+            executor=executor,
+            own_executor=True,
+            origin=args.origin,
+            journal_fsync=args.journal_fsync,
+        )
+        print(
+            f"recovered fleet from {fleet_dir}: "
+            f"{len(service.shard_keys)} shard(s), "
+            f"{service.n_ingested} events already ingested",
+            file=sys.stderr,
+        )
+    else:
+        service = PredictionService(
+            config,
+            shard_by=args.shard_by or "location",
+            shards=args.shards,
+            executor=executor,
+            own_executor=True,
+            origin=args.origin,
+            fleet_dir=fleet_dir,
+            journal_fsync=args.journal_fsync,
+        )
+    server = PredictionServer(
+        service,
+        host=args.host,
+        port=args.port,
+        batch_size=args.batch_size,
+        max_linger=args.max_linger,
+        max_pending=args.max_pending,
+        max_unacked=args.max_unacked,
+        subscriber_queue=args.subscriber_queue,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+    def ready() -> None:
+        durability = (
+            f"fleet-dir {fleet_dir}" if fleet_dir else "no fleet dir (volatile)"
+        )
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"(batch {server.batch_size}, linger {server.max_linger}s, "
+            f"{durability})",
+            flush=True,
+        )
+
+    stats = asyncio.run(
+        server.serve(ready=ready, install_signal_handlers=True)
+    )
+    print(
+        f"drained: {stats['accepted']} events accepted over "
+        f"{stats['connections']} connection(s), {stats['shed']} shed, "
+        f"{stats['errors']} errors"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run perf suites and append each run to its BENCH_* trajectory.
 
@@ -527,9 +610,8 @@ def _fsync_policy(text: str) -> str | int:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
-def _add_streaming_options(parser: argparse.ArgumentParser) -> None:
-    """Options shared by `repro run` and `repro recover`."""
-    parser.add_argument("input")
+def _add_model_options(parser: argparse.ArgumentParser) -> None:
+    """Framework/model options shared by `run`, `recover` and `serve`."""
     parser.add_argument("--window", type=float, default=300.0)
     parser.add_argument("--retrain-weeks", type=int, default=4)
     parser.add_argument("--train-months", type=int, default=6)
@@ -541,17 +623,16 @@ def _add_streaming_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument(
-        "--strict",
-        action="store_true",
-        help="fail (exit 2) on the first malformed log line",
-    )
-    parser.add_argument(
         "--on-retrain-error",
         default="raise",
         choices=("raise", "degrade"),
         help="degrade: absorb retraining crashes and keep predicting "
         "with the previous rules (default: raise)",
     )
+
+
+def _add_durability_options(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint cadence + journal fsync policy (`run`/`recover`/`serve`)."""
     parser.add_argument(
         "--checkpoint-every",
         type=_positive_int,
@@ -568,6 +649,18 @@ def _add_streaming_options(parser: argparse.ArgumentParser) -> None:
         "positive integer N (fsync every N appends), or 'never' "
         "(default: always)",
     )
+
+
+def _add_streaming_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by `repro run` and `repro recover`."""
+    parser.add_argument("input")
+    _add_model_options(parser)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 2) on the first malformed log line",
+    )
+    _add_durability_options(parser)
     _add_sharding_options(parser)
 
 
@@ -666,6 +759,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.set_defaults(func=_cmd_run)
 
+    srv = sub.add_parser(
+        "serve",
+        help="TCP ingestion server in front of a prediction fleet "
+        "(ndjson frames; micro-batching, backpressure, graceful "
+        "SIGTERM drain; re-serving an existing --fleet-dir recovers it)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=7337,
+        help="TCP port; 0 picks an ephemeral port, printed on stdout "
+        "(default: 7337)",
+    )
+    srv.add_argument(
+        "--origin",
+        type=float,
+        default=0.0,
+        help="stream origin timestamp anchoring week arithmetic "
+        "(default: 0.0)",
+    )
+    srv.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="commit a shard's micro-batch at N events (default: 64)",
+    )
+    srv.add_argument(
+        "--max-linger",
+        type=float,
+        default=0.02,
+        metavar="SECONDS",
+        help="commit a shard's micro-batch once its oldest event has "
+        "waited this long (default: 0.02)",
+    )
+    srv.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=1024,
+        metavar="N",
+        help="per-shard bound on pending events before ingests are "
+        "answered 'overloaded' (default: 1024)",
+    )
+    srv.add_argument(
+        "--max-unacked",
+        type=_positive_int,
+        default=1024,
+        metavar="N",
+        help="per-connection bound on unacknowledged ingests before "
+        "shedding (default: 1024)",
+    )
+    srv.add_argument(
+        "--subscriber-queue",
+        type=_positive_int,
+        default=256,
+        metavar="N",
+        help="bounded warning fan-out queue per subscriber; overflow "
+        "drops warnings for that subscriber only (default: 256)",
+    )
+    _add_model_options(srv)
+    _add_durability_options(srv)
+    _add_sharding_options(srv)
+    srv.set_defaults(func=_cmd_serve)
+
     rec = sub.add_parser(
         "recover",
         help="crash-consistent restart: load the checkpoint, truncate any "
@@ -753,7 +911,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "checkpoint_every", None) and not (
-        args.checkpoint or getattr(args, "fleet_dir", None)
+        getattr(args, "checkpoint", None) or getattr(args, "fleet_dir", None)
     ):
         parser.error("--checkpoint-every requires --checkpoint or --fleet-dir")
     if _sharding_requested(args) and (

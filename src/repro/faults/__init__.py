@@ -105,6 +105,29 @@ class ShardKill:
             )
 
 
+@dataclass(frozen=True, slots=True)
+class ConnectionDrop:
+    """Abruptly drop serving connection ``conn`` at its ``at_frame``-th frame.
+
+    The hook fires in the server's read loop after the frame is counted
+    but before it is dispatched, and the server aborts the transport
+    (RST, no ``bye`` frame) — modelling a collector agent dying
+    mid-conversation.  The dropped frame and everything the client had
+    pipelined behind it were never accepted, so the client's
+    unacknowledged tail covers exactly what must be re-sent.  ``conn``
+    is the server's accept-order connection ordinal (0-based).
+    """
+
+    conn: int
+    at_frame: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_frame < 1:
+            raise ValueError(
+                f"at_frame must be a positive ordinal, got {self.at_frame}"
+            )
+
+
 @dataclass
 class FaultPlan:
     """A deterministic schedule of infrastructure misbehaviour.
@@ -118,6 +141,7 @@ class FaultPlan:
     pool_breaks: list[PoolBreak] = field(default_factory=list)
     journal_faults: list[JournalFault] = field(default_factory=list)
     shard_kills: list[ShardKill] = field(default_factory=list)
+    connection_drops: list[ConnectionDrop] = field(default_factory=list)
 
     #: retrain attempts observed so far, per week
     train_attempts: dict[int, int] = field(default_factory=dict)
@@ -178,6 +202,26 @@ class FaultPlan:
                 f"injected shard kill on {shard!r} at routed event {count}"
             )
 
+    def on_net_frame(self, conn: int, count: int) -> None:
+        """Hook: called by the serving read loop per received frame.
+
+        ``count`` is the 1-based ordinal of this frame on connection
+        ``conn``.  A matching :class:`ConnectionDrop` fires exactly once;
+        the server aborts that connection and keeps serving the rest.
+        """
+        for drop in self.connection_drops:
+            record = f"net:{drop.conn}:{drop.at_frame}"
+            if (
+                drop.conn != conn
+                or count != drop.at_frame
+                or record in self.injected
+            ):
+                continue
+            self.injected.append(record)
+            raise FaultInjected(
+                f"injected connection drop on conn {conn} at frame {count}"
+            )
+
     def on_journal_append(
         self, index: int, framed: bytes
     ) -> tuple[bytes, str | None]:
@@ -231,6 +275,7 @@ def install(plan: FaultPlan) -> Iterator[FaultPlan]:
 
 
 __all__ = [
+    "ConnectionDrop",
     "FaultInjected",
     "FaultPlan",
     "JournalFault",

@@ -1,0 +1,423 @@
+"""Client libraries for the serving front-end.
+
+Two clients over the same ndjson protocol (:mod:`repro.net.protocol`):
+
+* :class:`PredictionClient` — blocking sockets, for producer scripts,
+  tests and the load benchmark.  Supports *pipelined* ingest: queue many
+  events with :meth:`send_event` (bounded by ``window`` outstanding
+  acks) and collect results with :meth:`wait_all`;
+* :class:`AsyncPredictionClient` — the same surface on asyncio streams,
+  for callers already living on an event loop.
+
+Both track the **unacknowledged tail**: every sent-but-unanswered event
+stays in an ordered map until its ack arrives.  If the connection dies —
+the server crashed, drained, or dropped it — :attr:`unacked_events`
+holds exactly the events the server never accepted, in send order.
+Replaying that tail against a recovered server is the client half of the
+lossless-handoff contract (the server half is ack-after-commit).
+
+Responses other than ``ack`` surface as :class:`Rejected` entries
+(``overloaded`` and typed ``error`` frames both land there), so a
+producer can distinguish "re-send later" (overloaded, draining) from
+"fix your event" (bad-event).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.core.serialization import warning_from_dict
+from repro.net import protocol
+from repro.net.protocol import FrameBuffer, ProtocolError
+from repro.raslog.events import RASEvent
+
+#: Default cap on pipelined, unacknowledged ingest frames.
+DEFAULT_WINDOW = 128
+
+
+class ServerClosed(ConnectionError):
+    """The server ended the conversation (EOF or a ``bye`` frame)."""
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """One event the server answered with something other than ``ack``."""
+
+    seq: int
+    event: RASEvent
+    frame: dict[str, Any]
+
+    @property
+    def overloaded(self) -> bool:
+        """True when the rejection is load shedding — re-send later."""
+        return self.frame.get("type") == "overloaded" or self.frame.get(
+            "code"
+        ) == protocol.ERR_DRAINING
+
+
+class _ClientCore:
+    """Protocol bookkeeping shared by the sync and async clients."""
+
+    def __init__(self) -> None:
+        self._seq = 0
+        #: seq -> event, in send order: the unacknowledged tail
+        self._unacked: dict[int, RASEvent] = {}
+        #: events answered with overloaded/error since the last drain
+        self.rejected: list[Rejected] = []
+        #: warnings pushed by the server (subscription or op acks)
+        self.warnings: list[dict[str, Any]] = []
+        self.said_bye = False
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @property
+    def unacked_events(self) -> list[RASEvent]:
+        """Events sent but never acknowledged, in send order."""
+        return list(self._unacked.values())
+
+    @property
+    def n_unacked(self) -> int:
+        return len(self._unacked)
+
+    def note_response(self, frame: dict[str, Any]) -> dict[str, Any] | None:
+        """Account one server frame; returns it unless it was a push."""
+        kind = frame.get("type")
+        if kind == "warning":
+            self.warnings.append(frame["warning"])
+            return None
+        if kind == "bye":
+            self.said_bye = True
+            return None
+        seq = frame.get("seq")
+        if kind == "ack":
+            if seq in self._unacked:
+                del self._unacked[seq]
+            self.warnings.extend(frame.get("warnings", ()))
+        elif kind in ("overloaded", "error") and seq in self._unacked:
+            self.rejected.append(
+                Rejected(seq=seq, event=self._unacked.pop(seq), frame=frame)
+            )
+        return frame
+
+
+class PredictionClient:
+    """Blocking-socket client; usable as a context manager.
+
+    ``timeout`` bounds every socket operation; a quiet server raises
+    ``socket.timeout`` (a ``ConnectionError`` subclass it is not — treat
+    timeouts as "still pending", not as rejection).
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 30.0,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        self.window = window
+        self.core = _ClientCore()
+        self._buffer = FrameBuffer()
+        self._frames: list[dict[str, Any]] = []
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _send(self, frame: dict[str, Any]) -> None:
+        self._sock.sendall(protocol.encode_frame(frame))
+
+    def _recv_frame(self) -> dict[str, Any]:
+        """Next non-push frame from the server (pushes are stashed)."""
+        while True:
+            while self._frames:
+                frame = self.core.note_response(self._frames.pop(0))
+                if frame is not None:
+                    return frame
+            data = self._sock.recv(65536)
+            if not data:
+                raise ServerClosed("server closed the connection")
+            for line in self._buffer.feed(data):
+                if line is None:
+                    raise ProtocolError(
+                        protocol.ERR_FRAME_TOO_LARGE, "oversized server frame"
+                    )
+                self._frames.append(protocol.decode_frame(line))
+
+    def _request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame and wait for its seq-matched response."""
+        seq = frame["seq"]
+        self._send(frame)
+        while True:
+            response = self._recv_frame()
+            if response.get("seq") == seq:
+                if response.get("type") == "error":
+                    raise ProtocolError(
+                        response.get("code", protocol.ERR_INTERNAL),
+                        response.get("error", "server error"),
+                    )
+                return response
+
+    # -- unacknowledged-tail accounting --------------------------------------
+
+    @property
+    def unacked_events(self) -> list[RASEvent]:
+        return self.core.unacked_events
+
+    @property
+    def rejected(self) -> list[Rejected]:
+        return self.core.rejected
+
+    @property
+    def warnings(self) -> list[dict[str, Any]]:
+        return self.core.warnings
+
+    # -- ingest ---------------------------------------------------------------
+
+    def send_event(self, event: RASEvent) -> int:
+        """Pipeline one ingest frame; returns its seq without waiting.
+
+        Blocks (reading responses) only when ``window`` acks are already
+        outstanding, so producer memory and server queues stay bounded.
+        """
+        while self.core.n_unacked >= self.window:
+            self._pump_one()
+        seq = self.core.next_seq()
+        self.core._unacked[seq] = event
+        self._send({"type": "ingest", "seq": seq, "event": event.as_dict()})
+        return seq
+
+    def _pump_one(self) -> None:
+        before = self.core.n_unacked
+        while self.core.n_unacked == before:
+            self._recv_frame()
+
+    def wait_all(self) -> list[Rejected]:
+        """Read responses until no ingest is outstanding.
+
+        Returns (and clears) the rejections accumulated since the last
+        call; everything else was acked.  On a dead connection the
+        remaining :attr:`unacked_events` are the replay tail.
+        """
+        while self.core.n_unacked:
+            self._recv_frame()
+        rejected, self.core.rejected = self.core.rejected, []
+        return rejected
+
+    def ingest(self, event: RASEvent) -> dict[str, Any]:
+        """Unpipelined convenience: send one event, wait for its answer."""
+        seq = self.send_event(event)
+        while seq in self.core._unacked:
+            self._recv_frame()
+        for i, rej in enumerate(self.core.rejected):
+            if rej.seq == seq:
+                return self.core.rejected.pop(i).frame
+        return {"type": "ack", "seq": seq}
+
+    def stream(
+        self, events: list[RASEvent],
+        on_reject: "Callable[[Rejected], None] | None" = None,
+    ) -> int:
+        """Pipeline a whole list; returns the number of acked events."""
+        for event in events:
+            self.send_event(event)
+        rejected = self.wait_all()
+        if on_reject is not None:
+            for rej in rejected:
+                on_reject(rej)
+        return len(events) - len(rejected)
+
+    # -- control plane --------------------------------------------------------
+
+    def advance(self, now: float) -> list[dict[str, Any]]:
+        """Move the fleet clock; returns the warnings it released."""
+        response = self._request(
+            {"type": "advance", "seq": self.core.next_seq(), "now": now}
+        )
+        return response.get("warnings", [])
+
+    def flush(self) -> list[dict[str, Any]]:
+        """End-of-stream: drain reorder buffers across the fleet."""
+        response = self._request(
+            {"type": "flush", "seq": self.core.next_seq()}
+        )
+        return response.get("warnings", [])
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's ``repro.observe`` snapshot."""
+        return self._request(
+            {"type": "metrics", "seq": self.core.next_seq()}
+        )["metrics"]
+
+    def health(self) -> dict[str, Any]:
+        return self._request({"type": "health", "seq": self.core.next_seq()})
+
+    # -- subscription ---------------------------------------------------------
+
+    def subscribe(self) -> None:
+        """Ask the server to push every new warning to this connection."""
+        self._request({"type": "subscribe", "seq": self.core.next_seq()})
+
+    def iter_warnings(self) -> Iterator[dict[str, Any]]:
+        """Yield pushed warning payloads until the server goes away."""
+        while True:
+            yield from self._drain_stashed()
+            try:
+                self._recv_frame()
+            except ServerClosed:
+                yield from self._drain_stashed()
+                return
+
+    def _drain_stashed(self) -> Iterator[dict[str, Any]]:
+        while self.core.warnings:
+            yield self.core.warnings.pop(0)
+
+    def decoded_warnings(self) -> list:
+        """Accumulated warnings as :class:`FailureWarning` objects."""
+        return [warning_from_dict(d) for d in self.core.warnings]
+
+
+class AsyncPredictionClient:
+    """The same client surface on asyncio streams."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.window = window
+        self.core = _ClientCore()
+        self._buffer = FrameBuffer()
+        self._frames: list[dict[str, Any]] = []
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, window: int = DEFAULT_WINDOW
+    ) -> "AsyncPredictionClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, window=window)
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncPredictionClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def _send(self, frame: dict[str, Any]) -> None:
+        self.writer.write(protocol.encode_frame(frame))
+        await self.writer.drain()
+
+    async def _recv_frame(self) -> dict[str, Any]:
+        while True:
+            while self._frames:
+                frame = self.core.note_response(self._frames.pop(0))
+                if frame is not None:
+                    return frame
+            data = await self.reader.read(65536)
+            if not data:
+                raise ServerClosed("server closed the connection")
+            for line in self._buffer.feed(data):
+                if line is None:
+                    raise ProtocolError(
+                        protocol.ERR_FRAME_TOO_LARGE, "oversized server frame"
+                    )
+                self._frames.append(protocol.decode_frame(line))
+
+    async def _request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        seq = frame["seq"]
+        await self._send(frame)
+        while True:
+            response = await self._recv_frame()
+            if response.get("seq") == seq:
+                if response.get("type") == "error":
+                    raise ProtocolError(
+                        response.get("code", protocol.ERR_INTERNAL),
+                        response.get("error", "server error"),
+                    )
+                return response
+
+    @property
+    def unacked_events(self) -> list[RASEvent]:
+        return self.core.unacked_events
+
+    @property
+    def warnings(self) -> list[dict[str, Any]]:
+        return self.core.warnings
+
+    async def send_event(self, event: RASEvent) -> int:
+        while self.core.n_unacked >= self.window:
+            await self._recv_frame()
+        seq = self.core.next_seq()
+        self.core._unacked[seq] = event
+        await self._send(
+            {"type": "ingest", "seq": seq, "event": event.as_dict()}
+        )
+        return seq
+
+    async def wait_all(self) -> list[Rejected]:
+        while self.core.n_unacked:
+            await self._recv_frame()
+        rejected, self.core.rejected = self.core.rejected, []
+        return rejected
+
+    async def stream(self, events: list[RASEvent]) -> int:
+        for event in events:
+            await self.send_event(event)
+        return len(events) - len(await self.wait_all())
+
+    async def advance(self, now: float) -> list[dict[str, Any]]:
+        response = await self._request(
+            {"type": "advance", "seq": self.core.next_seq(), "now": now}
+        )
+        return response.get("warnings", [])
+
+    async def flush(self) -> list[dict[str, Any]]:
+        response = await self._request(
+            {"type": "flush", "seq": self.core.next_seq()}
+        )
+        return response.get("warnings", [])
+
+    async def metrics(self) -> dict[str, Any]:
+        return (
+            await self._request(
+                {"type": "metrics", "seq": self.core.next_seq()}
+            )
+        )["metrics"]
+
+    async def health(self) -> dict[str, Any]:
+        return await self._request(
+            {"type": "health", "seq": self.core.next_seq()}
+        )
+
+    async def subscribe(self) -> None:
+        await self._request({"type": "subscribe", "seq": self.core.next_seq()})
+
+
+__all__ = [
+    "AsyncPredictionClient",
+    "DEFAULT_WINDOW",
+    "PredictionClient",
+    "Rejected",
+    "ServerClosed",
+]

@@ -16,7 +16,12 @@ claim:
 * ``journal_append`` — WAL appends/sec, per-record fsync vs batched
   group commit, plus crash-recovery replay time;
 * ``preprocess_filter`` — rows/sec through dedup + compression,
-  vectorized vs the python-loop reference (asserting identical output).
+  vectorized vs the python-loop reference (asserting identical output);
+* ``serve_ingest`` — events/sec through the ``repro serve`` TCP
+  front-end from concurrent producers plus ack p50/p99, with the
+  batching contrast — per-event commits vs ``ingest_batch`` group
+  commits — measured in-process on the same durable workload
+  (asserting warning-for-warning equivalence across all three runs).
 
 ``smoke=True`` shrinks every workload to CI scale; smoke and full runs
 carry different ``params_digest`` values so the regression gate never
@@ -40,6 +45,10 @@ SUITE_SEED = 2008
 
 #: Records per append_batch group commit in the journal suite.
 JOURNAL_BATCH = 64
+
+#: Micro-batch size for the serving suite's batched run (the
+#: ``repro serve`` default).
+DEFAULT_SERVE_BATCH = 64
 
 
 def _timed(fn: Callable[[], Any]) -> tuple[Any, float]:
@@ -407,6 +416,222 @@ def suite_preprocess_filter(smoke: bool = False) -> tuple[dict, dict]:
     return metrics, params
 
 
+# -- serve_ingest ------------------------------------------------------
+
+
+def _serve_load(
+    log, config_fn, *, n_shards: int, n_producers: int, batch_size: int,
+    fleet_dir=None,
+) -> tuple[float, dict, dict]:
+    """Push ``log`` through ``repro serve`` from concurrent producers.
+
+    Producers are partitioned by the server's own shard key, so each
+    shard receives its events from exactly one producer in stream order
+    — the same per-shard ordering the in-process path sees.  Returns
+    (elapsed seconds, registry snapshot, per-shard warnings).
+    """
+    import threading
+    import zlib
+
+    from repro.net.client import PredictionClient
+    from repro.net.server import serve_in_thread
+    from repro.service import PredictionService
+
+    service = PredictionService(
+        config_fn(), shards=n_shards, origin=log.origin, fleet_dir=fleet_dir
+    )
+    partitions: list[list] = [[] for _ in range(n_producers)]
+    for event in log:
+        key = service.router.key(event)
+        partitions[zlib.crc32(key.encode("utf-8")) % n_producers].append(event)
+
+    def produce(events: list, host: str, port: int) -> int:
+        client = PredictionClient(host, port, timeout=120.0)
+        try:
+            return client.stream(events)
+        finally:
+            client.close()
+
+    with serve_in_thread(service, batch_size=batch_size) as server:
+        acked = [0] * n_producers
+        threads = [
+            threading.Thread(
+                target=lambda i=i: acked.__setitem__(
+                    i, produce(partitions[i], server.host, server.port)
+                )
+            )
+            for i in range(n_producers)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tail = PredictionClient(server.host, server.port, timeout=120.0)
+        tail.flush()
+        elapsed = time.perf_counter() - start
+        snapshot = tail.metrics()
+        tail.close()
+        warnings = {k: service.warnings(k) for k in service.shard_keys}
+    assert sum(acked) == len(log), (sum(acked), len(log))
+    return elapsed, snapshot, warnings
+
+
+def _commit_contrast(
+    log, config_fn, *, n_shards: int, tmp: Path
+) -> tuple[float, float, dict]:
+    """Per-event commits vs ``ingest_batch`` group commits, in-process.
+
+    Both fleets are durable (write-ahead journal, fsync every commit)
+    and run on one thread — no sockets, no scheduler — so the ratio
+    isolates what one group commit per micro-batch buys over an fsync
+    per event: the same saving the server's micro-batching realises.
+    The measurement is *paired*: each chunk of events goes through the
+    per-event fleet and then, back to back, through the batched fleet,
+    so both modes see the same disk weather, and the reported speedup
+    is the *median* of the per-chunk ratios, so an fsync stall in any
+    one chunk — on either side — cannot move it.  A full throwaway
+    pass first warms code paths and the filesystem.
+    Returns (t_single, t_batched, speedup, per-shard warnings).
+    """
+    import statistics
+
+    from repro.service import PredictionService
+
+    events = list(log)
+
+    def paired_pass(label: str) -> tuple[float, float, float, dict]:
+        def fleet(mode: str) -> PredictionService:
+            return PredictionService(
+                config_fn(), shards=n_shards, origin=log.origin,
+                fleet_dir=tmp / f"{label}-{mode}",
+            )
+
+        single, batched = fleet("single"), fleet("batched")
+        t_single = t_batched = 0.0
+        ratios: list[float] = []
+        for i in range(0, len(events), DEFAULT_SERVE_BATCH):
+            chunk = events[i : i + DEFAULT_SERVE_BATCH]
+            start = time.perf_counter()
+            for event in chunk:
+                single.ingest(event)
+            mid = time.perf_counter()
+            batched.ingest_batch(chunk)
+            end = time.perf_counter()
+            t_single += mid - start
+            t_batched += end - mid
+            ratios.append((mid - start) / max(end - mid, 1e-9))
+        single.flush()
+        batched.flush()
+        w_single = {k: single.warnings(k) for k in single.shard_keys}
+        w_batched = {k: batched.warnings(k) for k in batched.shard_keys}
+        single.close()
+        batched.close()
+        # Batching is a transport knob: the fleet must produce the same
+        # warnings whether events commit one at a time or 64.
+        assert w_batched == w_single, "batch-size warning divergence"
+        return t_single, t_batched, statistics.median(ratios), w_single
+
+    paired_pass("warmup")
+    return paired_pass("measured")
+
+
+def suite_serve_ingest(smoke: bool = False) -> tuple[dict, dict]:
+    """Network serving throughput plus the in-process batching contrast."""
+    from repro.core.framework import FrameworkConfig
+    from repro.observe import MetricsRegistry, use_registry
+    from repro.preprocess.pipeline import PreprocessingPipeline
+    from repro.raslog.generator import GeneratorConfig, generate_log
+    from repro.raslog.profiles import SDSC_PROFILE
+
+    scale, weeks, train_weeks, n_shards, n_producers = (
+        (0.5, 8, 2, 2, 2) if smoke else (0.5, 12, 4, 4, 4)
+    )
+    trace = generate_log(
+        SDSC_PROFILE, GeneratorConfig(scale=scale, weeks=weeks, seed=SUITE_SEED)
+    )
+    log = PreprocessingPipeline().run(trace.raw).clean
+    log = log.with_origin(trace.raw.origin)
+
+    def config() -> FrameworkConfig:
+        return FrameworkConfig(
+            initial_train_weeks=train_weeks, retrain_weeks=train_weeks
+        )
+
+    # Warm the serving stack (imports, thread pools, codec paths) off
+    # the clock, so the measured runs don't pay one-time costs.
+    with use_registry(MetricsRegistry()):
+        _serve_load(
+            log.between(0.0, 1 * 7 * 24 * 3600.0),
+            config,
+            n_shards=n_shards,
+            n_producers=n_producers,
+            batch_size=DEFAULT_SERVE_BATCH,
+        )
+
+    # The fleets are durable (write-ahead journal, fsync every commit):
+    # that is the deployment the ack contract is about.  The served run
+    # crosses sockets and three thread pools, so its wall clock moves
+    # with the scheduler — best-of-2, recorded as absolute throughput
+    # (ungated across machines).  The gated batch_speedup ratio comes
+    # from the single-threaded, pairwise-interleaved in-process
+    # contrast instead, which holds still run to run.
+    # The contrast runs first, in its own directory, so the served
+    # runs' journal writeback never leaks into its fsync timings.
+    with tempfile.TemporaryDirectory() as tmpdir:
+        t_single, t_batched, speedup, w_inprocess = _commit_contrast(
+            log, config, n_shards=n_shards, tmp=Path(tmpdir)
+        )
+
+    served: tuple[float, dict, dict] | None = None
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        for repeat in range(2):
+            with use_registry(MetricsRegistry()):
+                run = _serve_load(
+                    log,
+                    config,
+                    n_shards=n_shards,
+                    n_producers=n_producers,
+                    batch_size=DEFAULT_SERVE_BATCH,
+                    fleet_dir=tmp / f"served-{repeat}",
+                )
+            if served is None or run[0] < served[0]:
+                served = run
+
+    t_served, snapshot, w_served = served
+    # The serving path is a transport, not a model change: warnings must
+    # match the in-process run shard for shard, warning for warning.
+    assert w_served == w_inprocess, "served/in-process warning divergence"
+    n_warnings = sum(len(w) for w in w_served.values())
+
+    ack = snapshot.get("net.ingest_latency", {})
+    n = max(len(log), 1)
+    metrics = {
+        "events_per_sec_served": Metric(n / t_served, "events/s", True),
+        "ack_p50_us": Metric(ack.get("p50", 0.0) * 1e6, "us"),
+        "ack_p99_us": Metric(ack.get("p99", 0.0) * 1e6, "us"),
+        "events_per_sec_unbatched": Metric(n / t_single, "events/s", True),
+        "events_per_sec_batched": Metric(n / t_batched, "events/s", True),
+        "batch_speedup": Metric(speedup, "ratio", True),
+        "n_events": Metric(float(len(log)), "count"),
+        "n_warnings": Metric(float(n_warnings), "count"),
+    }
+    params = {
+        "suite": "serve_ingest",
+        "smoke": smoke,
+        "scale": scale,
+        "weeks": weeks,
+        "train_weeks": train_weeks,
+        "n_shards": n_shards,
+        "n_producers": n_producers,
+        "batch": DEFAULT_SERVE_BATCH,
+        "durable": True,
+        "seed": SUITE_SEED,
+    }
+    return metrics, params
+
+
 # -- registry ----------------------------------------------------------
 
 SUITES: dict[str, Callable[[bool], tuple[dict, dict]]] = {
@@ -414,6 +639,7 @@ SUITES: dict[str, Callable[[bool], tuple[dict, dict]]] = {
     "service_throughput": suite_service_throughput,
     "journal_append": suite_journal_append,
     "preprocess_filter": suite_preprocess_filter,
+    "serve_ingest": suite_serve_ingest,
 }
 
 

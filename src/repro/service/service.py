@@ -214,6 +214,7 @@ class PredictionService:
         self._own_executor = own_executor and executor is not None
         self._shards: dict[str, _Shard] = {}
         self._down: set[str] = set()
+        self._closed = False
         if self.fleet_dir is not None:
             (self.fleet_dir / SHARDS_DIRNAME).mkdir(
                 parents=True, exist_ok=True
@@ -309,6 +310,7 @@ class PredictionService:
         (or from inside the shard's stack, e.g. a journal fault) marks
         the shard down and propagates; other shards keep serving.
         """
+        self._require_open()
         shard = self._shard_for(event)
         shard.routed += 1
         plan = faults.active()
@@ -320,8 +322,55 @@ class PredictionService:
             self._mark_down(shard)
             raise
 
+    def ingest_batch(self, events: list[RASEvent]) -> list[FailureWarning]:
+        """Route a batch of events; returns all new warnings.
+
+        Events are grouped by shard key with per-shard arrival order
+        preserved, and each shard's sub-batch goes through its session's
+        batched path (one group-commit journal fsync per shard instead
+        of one per event) — this is what the serving front-end's
+        micro-batcher calls.
+
+        Routing is validated atomically up front: if *any* event targets
+        a shard currently marked down, :class:`ShardDown` is raised
+        before anything is applied, mirroring the session layer's
+        nothing-on-error batch contract.  Failure isolation past that
+        point is per shard: a chaos fault killing one shard mid-batch
+        propagates after marking only that shard down — sub-batches
+        already delivered to *other* shards stay applied, because each
+        shard is an independent stream.
+        """
+        self._require_open()
+        if not events:
+            return []
+        groups: dict[str, list[RASEvent]] = {}
+        for event in events:
+            groups.setdefault(self.router.key(event), []).append(event)
+        for key in groups:
+            if key in self._down:
+                raise ShardDown(key)
+        plan = faults.active()
+        new: list[FailureWarning] = []
+        for key, batch in groups.items():
+            shard = self._shards.get(key)
+            if shard is None:
+                shard = self._make_shard(key)
+            try:
+                if plan is not None:
+                    for event in batch:
+                        shard.routed += 1
+                        plan.on_shard_event(key, shard.routed)
+                else:
+                    shard.routed += len(batch)
+                new.extend(shard.metered.ingest_batch(batch))
+            except faults.FaultInjected:
+                self._mark_down(shard)
+                raise
+        return new
+
     def advance(self, now: float) -> list[FailureWarning]:
         """Move every live shard's clock (idle timer service)."""
+        self._require_open()
         new: list[FailureWarning] = []
         for shard in self._shards.values():
             if shard.key in self._down:
@@ -331,6 +380,7 @@ class PredictionService:
 
     def flush(self) -> list[FailureWarning]:
         """Drain every live shard's reorder buffer (end of stream)."""
+        self._require_open()
         new: list[FailureWarning] = []
         for shard in self._shards.values():
             if shard.key in self._down:
@@ -351,8 +401,28 @@ class PredictionService:
             }
         )
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; streaming calls then raise."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "this PredictionService is closed; events offered after "
+                "close() would be silently lost"
+            )
+
     def close(self) -> None:
-        """Close every shard journal, then the executor if owned."""
+        """Close every shard journal, then the executor if owned.
+
+        Idempotent: a second close (e.g. the serve drain path and a
+        ``with`` block both reaching it) is a no-op, so shards are never
+        double-closed and the shared executor is released exactly once.
+        """
+        if self._closed:
+            return
+        self._closed = True
         for shard in self._shards.values():
             journal = shard.session.journal
             if journal is not None:

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import socket
+
 import pytest
 
 from repro.raslog.catalog import default_catalog
@@ -9,6 +12,28 @@ from repro.raslog.events import Facility, RASEvent, Severity
 from repro.raslog.generator import GeneratorConfig, generate_log
 from repro.raslog.profiles import ANL_PROFILE, SDSC_PROFILE
 from repro.raslog.store import EventLog
+
+
+def _sockets_unavailable() -> str | None:
+    """Why ``net``-marked tests cannot run here, or None if they can."""
+    if os.environ.get("REPRO_SKIP_NET_TESTS"):
+        return "REPRO_SKIP_NET_TESTS is set"
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.bind(("127.0.0.1", 0))
+    except OSError as exc:
+        return f"cannot bind a loopback socket: {exc}"
+    return None
+
+
+def pytest_collection_modifyitems(config, items):
+    reason = _sockets_unavailable()
+    if reason is None:
+        return
+    skip = pytest.mark.skip(reason=f"net tests skipped: {reason}")
+    for item in items:
+        if "net" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,68 @@
+"""Shared helpers for the serving front-end tests.
+
+The workload mirrors tests/service: interleaved per-location
+precursor→fatal pattern streams, so the fleet mines rules and emits
+warnings deterministically — enough signal to pin warning-for-warning
+equivalence between the served and in-process paths.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import FrameworkConfig
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.conftest import make_event
+
+PRECURSOR_A = "KERNEL-N-002"
+PRECURSOR_B = "KERNEL-N-003"
+FATAL = "KERNEL-F-000"
+
+LOCS = ["R00-M0-N00", "R01-M1-N01", "R02-M0-N03"]
+
+
+def fast_config(**overrides):
+    return FrameworkConfig(
+        initial_train_weeks=2, retrain_weeks=2, **overrides
+    )
+
+
+def fleet_events(weeks=5, locations=LOCS):
+    """Interleaved per-location pattern streams, globally time-sorted."""
+    events = []
+    rid = 0
+    for offset, location in enumerate(locations):
+        t = 600.0 + offset * 37.0
+        while t + 120.0 < weeks * WEEK_SECONDS:
+            for dt, code in (
+                (0.0, PRECURSOR_A),
+                (60.0, PRECURSOR_B),
+                (120.0, FATAL),
+            ):
+                events.append(
+                    make_event(t + dt, code, location=location, record_id=rid)
+                )
+                rid += 1
+            t += 10_800.0
+    events.sort(key=lambda e: (e.timestamp, e.record_id))
+    return events
+
+
+def reference_run(events, *, shards=2, catalog=None):
+    """In-process fleet over ``events``; returns the closed service."""
+    from repro.service import PredictionService
+
+    service = PredictionService(
+        fast_config(), shards=shards, catalog=catalog
+    )
+    for event in events:
+        service.ingest(event)
+    service.flush()
+    service.close()
+    return service
+
+
+def assert_same_warnings(served, reference):
+    """Pin warning-for-warning equality between two (closed) fleets."""
+    assert served.summary().n_events == reference.summary().n_events
+    assert set(served.shard_keys) == set(reference.shard_keys)
+    for key in reference.shard_keys:
+        assert served.warnings(key) == reference.warnings(key), key

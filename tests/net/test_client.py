@@ -1,0 +1,155 @@
+"""Client-side bookkeeping and the asyncio client surface."""
+
+import asyncio
+
+import pytest
+
+from repro.net import protocol
+from repro.net.client import (
+    AsyncPredictionClient,
+    PredictionClient,
+    Rejected,
+    _ClientCore,
+)
+from repro.net.server import serve_in_thread
+from repro.service import PredictionService
+from tests.conftest import make_event
+from tests.net.conftest import (
+    PRECURSOR_A,
+    assert_same_warnings,
+    fast_config,
+    fleet_events,
+    reference_run,
+)
+
+
+class TestClientCore:
+    """The shared protocol ledger needs no sockets to be tested."""
+
+    def make_unacked(self, core, n):
+        events = [make_event(100.0 + i, PRECURSOR_A) for i in range(n)]
+        for event in events:
+            core._unacked[core.next_seq()] = event
+        return events
+
+    def test_ack_retires_in_any_order(self):
+        core = _ClientCore()
+        events = self.make_unacked(core, 3)
+        core.note_response({"type": "ack", "seq": 2})
+        assert core.unacked_events == [events[0], events[2]]
+        core.note_response({"type": "ack", "seq": 1})
+        core.note_response({"type": "ack", "seq": 3})
+        assert core.n_unacked == 0
+        assert core.rejected == []
+
+    def test_unacked_tail_keeps_send_order(self):
+        core = _ClientCore()
+        events = self.make_unacked(core, 4)
+        core.note_response({"type": "ack", "seq": 1})
+        # seqs 2..4 never answered: the replay tail, in send order
+        assert core.unacked_events == events[1:]
+
+    def test_overloaded_and_error_become_rejections(self):
+        core = _ClientCore()
+        events = self.make_unacked(core, 2)
+        core.note_response(
+            {"type": "overloaded", "seq": 1, "scope": "shard"}
+        )
+        core.note_response(
+            {"type": "error", "seq": 2, "code": protocol.ERR_BAD_EVENT}
+        )
+        assert core.n_unacked == 0
+        shed, bad = core.rejected
+        assert shed.event == events[0] and shed.overloaded
+        assert bad.event == events[1] and not bad.overloaded
+
+    def test_draining_error_counts_as_overloaded(self):
+        rejection = Rejected(
+            seq=1,
+            event=make_event(1.0, PRECURSOR_A),
+            frame={"type": "error", "code": protocol.ERR_DRAINING},
+        )
+        assert rejection.overloaded
+
+    def test_pushed_warnings_and_bye_are_not_responses(self):
+        core = _ClientCore()
+        assert core.note_response(
+            {"type": "warning", "warning": {"x": 1}}
+        ) is None
+        assert core.note_response({"type": "bye"}) is None
+        assert core.warnings == [{"x": 1}]
+        assert core.said_bye
+
+    def test_ack_warnings_accumulate(self):
+        core = _ClientCore()
+        core.note_response(
+            {"type": "ack", "seq": 9, "warnings": [{"a": 1}, {"b": 2}]}
+        )
+        assert core.warnings == [{"a": 1}, {"b": 2}]
+
+
+@pytest.mark.net
+class TestAsyncClient:
+    def test_async_stream_matches_in_process(self, catalog):
+        events = fleet_events(weeks=4)
+        service = PredictionService(fast_config(), shards=2, catalog=catalog)
+
+        async def run(host, port):
+            async with await AsyncPredictionClient.connect(host, port) as c:
+                acked = await c.stream(events)
+                await c.flush()
+                health = await c.health()
+                snapshot = await c.metrics()
+                return acked, health, snapshot
+
+        with serve_in_thread(service, batch_size=16) as server:
+            acked, health, snapshot = asyncio.run(
+                run(server.host, server.port)
+            )
+        assert acked == len(events)
+        assert health["status"] == "ok"
+        assert snapshot["net.events"]["value"] >= len(events)
+        assert_same_warnings(service, reference_run(events, catalog=catalog))
+
+    def test_async_subscribe_receives_pushes(self, catalog):
+        events = fleet_events(weeks=4)
+        service = PredictionService(fast_config(), shards=2, catalog=catalog)
+
+        async def run(host, port):
+            listener = await AsyncPredictionClient.connect(host, port)
+            await listener.subscribe()
+            async with await AsyncPredictionClient.connect(host, port) as c:
+                await c.stream(events)
+                await c.flush()
+            # pull pushed frames until at least one warning arrived
+            # (_recv_frame stashes pushes and keeps waiting, so bound it)
+            while not listener.core.warnings:
+                try:
+                    await asyncio.wait_for(
+                        listener._recv_frame(), timeout=0.2
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            got = list(listener.core.warnings)
+            await listener.close()
+            return got
+
+        with serve_in_thread(service, batch_size=16) as server:
+            pushed = asyncio.run(run(server.host, server.port))
+        assert pushed  # the pattern workload must warn at least once
+
+
+@pytest.mark.net
+class TestSyncClientWindow:
+    def test_pipeline_window_is_respected(self, catalog):
+        service = PredictionService(fast_config(), shards=2, catalog=catalog)
+        events = fleet_events(weeks=3)
+        with serve_in_thread(service, batch_size=8) as server:
+            with PredictionClient(
+                server.host, server.port, window=4
+            ) as client:
+                for event in events:
+                    client.send_event(event)
+                    assert client.core.n_unacked <= 4
+                assert client.wait_all() == []
+        assert service.n_ingested == len(events)

@@ -1,0 +1,161 @@
+"""Subprocess tests for ``repro serve``: banner, drain, lossless handoff."""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.net.client import PredictionClient
+from repro.service import PredictionService
+from repro.service.partition import HashRouter
+from tests.net.conftest import fast_config, fleet_events, reference_run
+
+pytestmark = pytest.mark.net
+
+SERVE_TIMEOUT = 120
+
+
+def start_serve(*extra, cwd):
+    """Launch ``repro serve --port 0`` and parse the readiness banner."""
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = repo_src + (os.pathsep + existing if existing else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=cwd,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"serving on ([\d.]+):(\d+) ", banner)
+    assert match, f"no readiness banner, stderr: {proc.stderr.read()}"
+    return proc, match.group(1), int(match.group(2))
+
+
+def finish(proc):
+    """SIGTERM the server and return (exit code, stdout, stderr)."""
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=SERVE_TIMEOUT)
+    return proc.returncode, out, err
+
+
+class TestServeVerb:
+    def test_banner_drain_and_exit_zero(self, tmp_path):
+        proc, host, port = start_serve(cwd=tmp_path)
+        events = fleet_events(weeks=3)
+        with PredictionClient(host, port, timeout=SERVE_TIMEOUT) as client:
+            assert client.stream(events) == len(events)
+            assert client.health()["status"] == "ok"
+        code, out, err = finish(proc)
+        assert code == 0, err
+        assert f"drained: {len(events)} events accepted" in out
+
+    def test_idle_serve_drains_clean(self, tmp_path):
+        proc, host, port = start_serve(cwd=tmp_path)
+        try:
+            assert proc.poll() is None
+        finally:
+            code, out, _ = finish(proc)
+        assert code == 0
+        assert "drained: 0 events" in out
+
+    def test_lossless_handoff_across_sigterm_and_recovery(self, tmp_path):
+        """The flagship contract, end to end.
+
+        N concurrent producers stream into ``repro serve`` with a fleet
+        directory; the server is SIGTERMed mid-stream.  Every sent event
+        is then either acked (and must be in the recovered fleet) or in
+        a producer's unacknowledged tail (and must be replayable).
+        Recovery plus tail replay must end warning-for-warning identical
+        to an in-process run that never crashed: zero loss, zero
+        duplication.
+        """
+        events = fleet_events(weeks=5)
+        n_shards, n_producers = 2, 2
+        router = HashRouter(n_shards)
+        # each shard is owned by exactly one producer, so per-shard
+        # event order is preserved end to end (reorder slack is 0)
+        shard_owner: dict[str, int] = {}
+        partitions: list[list] = [[] for _ in range(n_producers)]
+        for event in events:
+            key = router.key(event)
+            owner = shard_owner.setdefault(
+                key, len(shard_owner) % n_producers
+            )
+            partitions[owner].append(event)
+        assert all(partitions), "workload must exercise every producer"
+
+        proc, host, port = start_serve(
+            "--fleet-dir", "fleet", "--shards", str(n_shards),
+            "--initial-weeks", "2", "--retrain-weeks", "2",
+            cwd=tmp_path,
+        )
+
+        cut = [int(len(part) * 0.6) for part in partitions]
+        tails: list[list] = [[] for _ in range(n_producers)]
+        barrier = threading.Barrier(n_producers + 1)
+
+        def produce(i):
+            part, client = partitions[i], None
+            try:
+                client = PredictionClient(host, port, timeout=SERVE_TIMEOUT)
+                # phase 1: fully acknowledged before the kill
+                assert client.stream(part[: cut[i]]) == cut[i]
+                barrier.wait(timeout=SERVE_TIMEOUT)
+                # phase 2: racing the SIGTERM; rejections and silence
+                # both mean "mine to replay"
+                for event in part[cut[i] :]:
+                    client.send_event(event)
+                tails[i].extend(
+                    r.event for r in client.wait_all()
+                )
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                if client is not None:
+                    tails[i].extend(client.unacked_events)
+                    client.close()
+
+        threads = [
+            threading.Thread(target=produce, args=(i,))
+            for i in range(n_producers)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=SERVE_TIMEOUT)  # all phase-1 acks are in
+        code, out, err = finish(proc)  # SIGTERM mid-phase-2
+        for t in threads:
+            t.join(timeout=SERVE_TIMEOUT)
+        assert code == 0, err
+        assert "drained:" in out
+
+        # recover the fleet: acked events survived, nothing else did
+        recovered = PredictionService.recover(
+            tmp_path / "fleet", fast_config()
+        )
+        accepted = recovered.n_ingested
+        total_tail = sum(len(tail) for tail in tails)
+        assert accepted >= sum(cut)  # nothing acked was lost
+        assert accepted + total_tail == len(events)  # no loss, no dupes
+
+        # replay exactly the unacknowledged tails (per producer, in
+        # send order — which is per-shard stream order)
+        for tail in tails:
+            for event in tail:
+                recovered.ingest(event)
+        recovered.flush()
+        assert recovered.n_ingested == len(events)
+
+        reference = reference_run(events, shards=n_shards)
+        assert recovered.summary().n_events == reference.summary().n_events
+        for key in reference.shard_keys:
+            assert recovered.warnings(key) == reference.warnings(key), key
+        recovered.close()
