@@ -154,7 +154,10 @@ def main(argv: "list[str] | None" = None) -> int:
     for path in args.files:
         try:
             findings, note = check_file(path, args.threshold)
-        except (OSError, ValueError, KeyError) as exc:
+        except (OSError, ValueError, KeyError, TypeError, AttributeError) as exc:
+            # One line + exit 2 for any malformed trajectory — a missing
+            # file, bad JSON, a non-object top level, or run/metric
+            # entries of the wrong shape.  CI greps this, not a traceback.
             print(f"{path}: unreadable trajectory: {exc}", file=sys.stderr)
             return 2
         if note:

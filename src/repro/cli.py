@@ -9,7 +9,10 @@ The subcommands cover the operational lifecycle::
     repro run         # full dynamic train-and-predict loop
                       # (--shard-by location / --shards N for a fleet)
     repro serve       # long-running TCP ingestion server in front of a
-                      # fleet (micro-batching, backpressure, SIGTERM drain)
+                      # fleet (micro-batching, backpressure, SIGTERM drain,
+                      # shard supervision with auto-restore)
+    repro fleet       # control plane: status / rebalance (live shard
+                      # split + merge) / rolling restart
     repro recover     # crash-consistent restart: checkpoint + WAL replay
                       # (--fleet-dir recovers a whole sharded fleet)
     repro metrics     # stream a log and emit per-stage metrics as JSON
@@ -53,7 +56,8 @@ from repro.resilience import (
     JournalError,
     parse_fsync_policy,
 )
-from repro.service import PredictionService
+from repro.net.protocol import ProtocolError
+from repro.service import PredictionService, ReshardError
 from repro.utils.tables import TableResult
 
 
@@ -304,6 +308,7 @@ def _run_service(
             origin=log.origin,
             fleet_dir=args.fleet_dir,
             journal_fsync=args.journal_fsync,
+            retain_journals=args.retain_journals,
         )
         skipped = {}
     every = args.checkpoint_every
@@ -498,6 +503,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             origin=args.origin,
             fleet_dir=fleet_dir,
             journal_fsync=args.journal_fsync,
+            retain_journals=args.retain_journals,
         )
     server = PredictionServer(
         service,
@@ -529,6 +535,120 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"drained: {stats['accepted']} events accepted over "
         f"{stats['connections']} connection(s), {stats['shed']} shed, "
         f"{stats['errors']} errors"
+    )
+    return 0
+
+
+def _fleet_client(args: argparse.Namespace):
+    from repro.net.client import PredictionClient
+
+    return PredictionClient(args.host, args.port, timeout=args.timeout)
+
+
+def _print_shard_table(shards: dict) -> None:
+    for key in sorted(shards):
+        h = shards[key]
+        line = f"  {key}: {h['state']}"
+        if h.get("restarts"):
+            line += f" restarts={h['restarts']}"
+        if h.get("last_error"):
+            line += f" last_error={h['last_error']!r}"
+        print(line)
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    """`repro fleet status`: topology + per-shard health."""
+    if args.fleet_dir:
+        import json
+
+        from repro.service.service import MANIFEST_NAME
+
+        manifest_path = Path(args.fleet_dir) / MANIFEST_NAME
+        if not manifest_path.exists():
+            print(f"error: no fleet manifest at {manifest_path}", file=sys.stderr)
+            return 2
+        manifest = json.loads(manifest_path.read_text())
+        migration = manifest.get("migration")
+        print(
+            f"fleet {args.fleet_dir}: epoch {manifest.get('epoch', 0)}, "
+            f"{len(manifest['shards'])} shard(s)"
+            + (
+                f", IN-FLIGHT {migration['kind']} -> epoch "
+                f"{migration['epoch']} (will roll forward on recovery)"
+                if migration
+                else ""
+            )
+        )
+        for entry in manifest["shards"]:
+            print(f"  {entry['key']}: {entry['dir']}")
+        return 0
+    with _fleet_client(args) as client:
+        status = client.fleet_status()
+    migration = status.get("migration")
+    print(
+        f"fleet at {args.host}:{args.port}: epoch {status['epoch']}, "
+        f"{len(status['shards'])} shard(s)"
+        + (f", migration in flight: {migration['kind']}" if migration else "")
+    )
+    _print_shard_table(status["shards"])
+    return 0
+
+
+def _cmd_fleet_rebalance(args: argparse.Namespace) -> int:
+    """`repro fleet rebalance`: split a hot shard or merge cold ones.
+
+    Live against a served fleet (``--host``/``--port``), or offline
+    against a ``--fleet-dir`` (the fleet is recovered, resharded and
+    checkpointed in-process).
+    """
+    if bool(args.split) == bool(args.merge):
+        print(
+            "error: rebalance needs exactly one of --split SHARD or "
+            "--merge SHARD SHARD...",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fleet_dir:
+        service = PredictionService.recover(args.fleet_dir)
+        with service:
+            if args.split:
+                targets = service.split_shard(args.split, args.parts)
+                print(
+                    f"split {args.split} -> {', '.join(targets)} "
+                    f"(epoch {service.epoch})"
+                )
+            else:
+                target = service.merge_shards(args.merge, args.target)
+                print(
+                    f"merged {', '.join(args.merge)} -> {target} "
+                    f"(epoch {service.epoch})"
+                )
+            service.checkpoint()
+        return 0
+    with _fleet_client(args) as client:
+        if args.split:
+            result = client.split_shard(args.split, args.parts)
+            print(
+                f"split {args.split} -> {', '.join(result['targets'])} "
+                f"(epoch {result['epoch']})"
+            )
+        else:
+            result = client.merge_shards(args.merge, args.target)
+            print(
+                f"merged {', '.join(args.merge)} -> {result['target']} "
+                f"(epoch {result['epoch']})"
+            )
+    return 0
+
+
+def _cmd_fleet_restart(args: argparse.Namespace) -> int:
+    """`repro fleet restart`: rolling restart of a *served* fleet."""
+    with _fleet_client(args) as client:
+        result = client.rolling_restart()
+    restarted = result.get("restarted", [])
+    print(
+        f"rolling restart complete: {len(restarted)} shard(s) "
+        f"({', '.join(restarted)})"
     )
     return 0
 
@@ -648,6 +768,13 @@ def _add_durability_options(parser: argparse.ArgumentParser) -> None:
         help="journal durability: 'always' (fsync every append), a "
         "positive integer N (fsync every N appends), or 'never' "
         "(default: always)",
+    )
+    parser.add_argument(
+        "--retain-journals",
+        action="store_true",
+        help="keep each shard's full journal instead of compacting at "
+        "checkpoints; required for `repro fleet rebalance` (split/merge "
+        "rebuilds shards by replaying journals from the start)",
     )
 
 
@@ -824,6 +951,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sharding_options(srv)
     srv.set_defaults(func=_cmd_serve)
 
+    fl = sub.add_parser(
+        "fleet",
+        help="fleet control plane: per-shard health, live resharding "
+        "(split/merge), rolling restart",
+    )
+    fls = fl.add_subparsers(dest="fleet_command", required=True)
+
+    def _add_fleet_endpoint(
+        parser: argparse.ArgumentParser, offline: bool = True
+    ) -> None:
+        parser.add_argument(
+            "--host",
+            default="127.0.0.1",
+            help="served fleet to talk to (default: 127.0.0.1)",
+        )
+        parser.add_argument(
+            "--port", type=int, default=7337, help="default: 7337"
+        )
+        parser.add_argument(
+            "--timeout",
+            type=float,
+            default=60.0,
+            help="socket timeout in seconds (default: 60)",
+        )
+        if offline:
+            parser.add_argument(
+                "--fleet-dir",
+                default=None,
+                metavar="DIR",
+                help="operate offline on this fleet directory instead of "
+                "a served fleet",
+            )
+
+    fst = fls.add_parser(
+        "status", help="migration epoch and per-shard up/down/quarantined"
+    )
+    _add_fleet_endpoint(fst)
+    fst.set_defaults(func=_cmd_fleet_status)
+
+    frb = fls.add_parser(
+        "rebalance",
+        help="split a hot shard (--split SHARD --parts N) or merge cold "
+        "ones (--merge SHARD SHARD... [--target KEY]); live over TCP or "
+        "offline with --fleet-dir",
+    )
+    _add_fleet_endpoint(frb)
+    frb.add_argument("--split", default=None, metavar="SHARD")
+    frb.add_argument(
+        "--parts",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="children for --split (default: 2)",
+    )
+    frb.add_argument("--merge", nargs="+", default=None, metavar="SHARD")
+    frb.add_argument(
+        "--target",
+        default=None,
+        metavar="KEY",
+        help="merged shard's key (default: merged-<epoch>)",
+    )
+    frb.set_defaults(func=_cmd_fleet_rebalance)
+
+    frs = fls.add_parser(
+        "restart",
+        help="rolling restart of a served fleet: each shard drains, "
+        "checkpoints and rejoins while the rest keep serving",
+    )
+    _add_fleet_endpoint(frs, offline=False)
+    frs.set_defaults(func=_cmd_fleet_restart)
+
     rec = sub.add_parser(
         "recover",
         help="crash-consistent restart: load the checkpoint, truncate any "
@@ -932,7 +1130,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
     try:
         return args.func(args)
-    except (ParseError, CheckpointError, JournalError) as exc:
+    except (
+        ParseError,
+        CheckpointError,
+        JournalError,
+        ProtocolError,
+        ReshardError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:

@@ -106,6 +106,35 @@ class ShardKill:
 
 
 @dataclass(frozen=True, slots=True)
+class ReshardCrash:
+    """Kill the process at a named live-resharding handoff step.
+
+    The hook fires in :mod:`repro.service.resharding` *after* the named
+    step's on-disk effects are durable and before the next step begins,
+    so it models a process dying between handoff steps.  Steps, in
+    order: ``"begin"`` (migration record in the manifest), ``"seal"``
+    (source journals closed), ``"build"`` (target shards built and
+    checkpointed), ``"commit"`` (manifest atomically switched to the new
+    topology), ``"cleanup"`` (retired source directories removed).
+    Every intermediate state must be recoverable by
+    ``PredictionService.recover``, which rolls an in-flight migration
+    forward; the ``injected`` guard keeps the re-run from crashing at
+    the same step again.
+    """
+
+    step: str
+
+    _STEPS = ("begin", "seal", "build", "commit", "cleanup")
+
+    def __post_init__(self) -> None:
+        if self.step not in self._STEPS:
+            raise ValueError(
+                f"unknown reshard step {self.step!r} "
+                f"(expected one of {', '.join(self._STEPS)})"
+            )
+
+
+@dataclass(frozen=True, slots=True)
 class ConnectionDrop:
     """Abruptly drop serving connection ``conn`` at its ``at_frame``-th frame.
 
@@ -142,6 +171,7 @@ class FaultPlan:
     journal_faults: list[JournalFault] = field(default_factory=list)
     shard_kills: list[ShardKill] = field(default_factory=list)
     connection_drops: list[ConnectionDrop] = field(default_factory=list)
+    reshard_crashes: list[ReshardCrash] = field(default_factory=list)
 
     #: retrain attempts observed so far, per week
     train_attempts: dict[int, int] = field(default_factory=dict)
@@ -200,6 +230,22 @@ class FaultPlan:
             self.injected.append(record)
             raise FaultInjected(
                 f"injected shard kill on {shard!r} at routed event {count}"
+            )
+
+    def on_reshard_step(self, step: str) -> None:
+        """Hook: called by the resharding engine after each handoff step.
+
+        A matching :class:`ReshardCrash` fires exactly once — the
+        recovery that rolls the migration forward re-walks the same
+        steps, and the ``injected`` guard lets it pass the second time.
+        """
+        for crash in self.reshard_crashes:
+            record = f"reshard:{crash.step}"
+            if crash.step != step or record in self.injected:
+                continue
+            self.injected.append(record)
+            raise FaultInjected(
+                f"injected process kill after reshard step {step!r}"
             )
 
     def on_net_frame(self, conn: int, count: int) -> None:
@@ -281,6 +327,7 @@ __all__ = [
     "JournalFault",
     "LearnerCrash",
     "PoolBreak",
+    "ReshardCrash",
     "ShardKill",
     "active",
     "corrupt_lines",

@@ -13,13 +13,16 @@ in-process loop.  This package is that surface:
   drain-checkpoint-exit (behind ``repro serve``);
 * :mod:`repro.net.client` — :class:`PredictionClient` (blocking) and
   :class:`AsyncPredictionClient` (asyncio), both tracking the
-  unacknowledged tail a producer must replay after a failover.
+  unacknowledged tail a producer must replay after a failover, and both
+  retrying transient rejections (``overloaded`` / ``shard-down``) with
+  jittered exponential backoff (:class:`RetryPolicy`).
 """
 
 from repro.net.client import (
     AsyncPredictionClient,
     PredictionClient,
     Rejected,
+    RetryPolicy,
     ServerClosed,
 )
 from repro.net.protocol import (
@@ -39,6 +42,7 @@ __all__ = [
     "PredictionServer",
     "ProtocolError",
     "Rejected",
+    "RetryPolicy",
     "ServerClosed",
     "decode_frame",
     "encode_frame",

@@ -20,12 +20,22 @@ Responses other than ``ack`` surface as :class:`Rejected` entries
 (``overloaded`` and typed ``error`` frames both land there), so a
 producer can distinguish "re-send later" (overloaded, draining) from
 "fix your event" (bad-event).
+
+Transient rejections are retried automatically: ``overloaded`` (load
+shedding) and ``shard-down`` (a crashed shard the supervisor is about to
+restore) answers trigger a re-send with jittered exponential backoff,
+up to :attr:`RetryPolicy.max_attempts` sends per event.  Pass
+``retry=None`` to get the raw single-shot behaviour back.  ``draining``
+is *not* retried — the server is going away; replay the unacked tail
+against its successor instead.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
@@ -56,6 +66,48 @@ class Rejected:
         return self.frame.get("type") == "overloaded" or self.frame.get(
             "code"
         ) == protocol.ERR_DRAINING
+
+    @property
+    def transient(self) -> bool:
+        """True when a retry against this same server could succeed:
+        load shedding, or a shard crash the supervisor will repair."""
+        return (
+            self.frame.get("type") == "overloaded"
+            or self.frame.get("code") == protocol.ERR_SHARD_DOWN
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for re-sending transiently rejected events.
+
+    The k-th re-send of an event waits ``min(cap, base * 2**(k-1))``
+    seconds, shaved by up to ``jitter`` (a fraction) at random so a
+    window's worth of rejected events does not re-arrive as one
+    synchronized thundering herd.  ``max_attempts`` counts total sends
+    per event, the first included; events still rejected after the last
+    attempt surface to the caller as usual.
+    """
+
+    max_attempts: int = 4
+    base: float = 0.05
+    cap: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base <= 0 or self.cap <= 0:
+            raise ValueError("base and cap must be positive")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to wait before send number ``attempt + 1``."""
+        raw = min(self.cap, self.base * (2 ** (attempt - 1)))
+        return raw * (1 - self.jitter * rng.random())
 
 
 class _ClientCore:
@@ -116,11 +168,17 @@ class PredictionClient:
     def __init__(
         self, host: str, port: int, timeout: float | None = 30.0,
         window: int = DEFAULT_WINDOW,
+        retry: RetryPolicy | None = RetryPolicy(),
     ) -> None:
         self.window = window
+        self.retry = retry
         self.core = _ClientCore()
         self._buffer = FrameBuffer()
         self._frames: list[dict[str, Any]] = []
+        #: seq -> sends so far, for events that have been re-sent
+        self._attempts: dict[int, int] = {}
+        self._rng = random.Random()
+        self._sleep: Callable[[float], None] = time.sleep
         self._sock = socket.create_connection((host, port), timeout=timeout)
 
     # -- plumbing ----------------------------------------------------------
@@ -208,14 +266,51 @@ class PredictionClient:
     def wait_all(self) -> list[Rejected]:
         """Read responses until no ingest is outstanding.
 
-        Returns (and clears) the rejections accumulated since the last
-        call; everything else was acked.  On a dead connection the
-        remaining :attr:`unacked_events` are the replay tail.
+        Transient rejections (:attr:`Rejected.transient`) are re-sent
+        with the client's :class:`RetryPolicy` backoff until they ack or
+        run out of attempts.  Returns (and clears) the rejections that
+        survived; everything else was acked.  On a dead connection the
+        remaining :attr:`unacked_events` plus :attr:`rejected` are the
+        replay tail — rejections classified but not yet returned go back
+        on the ledger, so no event silently disappears.
         """
-        while self.core.n_unacked:
-            self._recv_frame()
-        rejected, self.core.rejected = self.core.rejected, []
-        return rejected
+        final: list[Rejected] = []
+        pending: list[tuple[Rejected, int]] = []
+        try:
+            while True:
+                while self.core.n_unacked:
+                    self._recv_frame()
+                rejected, self.core.rejected = self.core.rejected, []
+                for rej in rejected:
+                    attempts = self._attempts.pop(rej.seq, 1)
+                    if (
+                        self.retry is not None
+                        and rej.transient
+                        and attempts < self.retry.max_attempts
+                    ):
+                        pending.append((rej, attempts))
+                    else:
+                        final.append(rej)
+                # Everything left in the ledger was acked this drain.
+                self._attempts.clear()
+                if not pending:
+                    return final
+                self._sleep(
+                    max(self.retry.delay(a, self._rng) for _, a in pending)
+                )
+                while pending:
+                    rej, attempts = pending[0]
+                    seq = self.send_event(rej.event)
+                    pending.pop(0)
+                    self._attempts[seq] = attempts + 1
+        except BaseException:
+            # A resent event may already sit in the unacked ledger (the
+            # send died after registering it) — don't double-count it.
+            inflight = {id(e) for e in self.core._unacked.values()}
+            self.core.rejected[:0] = final + [
+                rej for rej, _ in pending if id(rej.event) not in inflight
+            ]
+            raise
 
     def ingest(self, event: RASEvent) -> dict[str, Any]:
         """Unpipelined convenience: send one event, wait for its answer."""
@@ -265,6 +360,57 @@ class PredictionClient:
     def health(self) -> dict[str, Any]:
         return self._request({"type": "health", "seq": self.core.next_seq()})
 
+    # -- fleet control plane --------------------------------------------------
+
+    def fleet_status(self) -> dict[str, Any]:
+        """Per-shard supervision state, migration epoch, in-flight moves."""
+        return self._request(
+            {"type": "fleet", "seq": self.core.next_seq(), "action": "status"}
+        )
+
+    def split_shard(self, shard: str, parts: int = 2) -> dict[str, Any]:
+        """Live-split a hot shard into ``parts`` children."""
+        return self._request(
+            {
+                "type": "fleet",
+                "seq": self.core.next_seq(),
+                "action": "split",
+                "shard": shard,
+                "parts": parts,
+            }
+        )
+
+    def merge_shards(
+        self, shards: list[str], target: str | None = None
+    ) -> dict[str, Any]:
+        """Live-merge cold shards into one."""
+        frame: dict[str, Any] = {
+            "type": "fleet",
+            "seq": self.core.next_seq(),
+            "action": "merge",
+            "shards": list(shards),
+        }
+        if target is not None:
+            frame["target"] = target
+        return self._request(frame)
+
+    def rolling_restart(self) -> dict[str, Any]:
+        """Drain/checkpoint/rejoin every up shard, one at a time."""
+        return self._request(
+            {"type": "fleet", "seq": self.core.next_seq(), "action": "restart"}
+        )
+
+    def release_shard(self, shard: str) -> dict[str, Any]:
+        """Close a quarantined shard's circuit breaker."""
+        return self._request(
+            {
+                "type": "fleet",
+                "seq": self.core.next_seq(),
+                "action": "release",
+                "shard": shard,
+            }
+        )
+
     # -- subscription ---------------------------------------------------------
 
     def subscribe(self) -> None:
@@ -296,20 +442,25 @@ class AsyncPredictionClient:
     def __init__(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
         window: int = DEFAULT_WINDOW,
+        retry: RetryPolicy | None = RetryPolicy(),
     ) -> None:
         self.reader = reader
         self.writer = writer
         self.window = window
+        self.retry = retry
         self.core = _ClientCore()
         self._buffer = FrameBuffer()
         self._frames: list[dict[str, Any]] = []
+        self._attempts: dict[int, int] = {}
+        self._rng = random.Random()
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, window: int = DEFAULT_WINDOW
+        cls, host: str, port: int, window: int = DEFAULT_WINDOW,
+        retry: RetryPolicy | None = RetryPolicy(),
     ) -> "AsyncPredictionClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, window=window)
+        return cls(reader, writer, window=window, retry=retry)
 
     async def close(self) -> None:
         self.writer.close()
@@ -362,6 +513,10 @@ class AsyncPredictionClient:
         return self.core.unacked_events
 
     @property
+    def rejected(self) -> list[Rejected]:
+        return self.core.rejected
+
+    @property
     def warnings(self) -> list[dict[str, Any]]:
         return self.core.warnings
 
@@ -376,10 +531,40 @@ class AsyncPredictionClient:
         return seq
 
     async def wait_all(self) -> list[Rejected]:
-        while self.core.n_unacked:
-            await self._recv_frame()
-        rejected, self.core.rejected = self.core.rejected, []
-        return rejected
+        final: list[Rejected] = []
+        pending: list[tuple[Rejected, int]] = []
+        try:
+            while True:
+                while self.core.n_unacked:
+                    await self._recv_frame()
+                rejected, self.core.rejected = self.core.rejected, []
+                for rej in rejected:
+                    attempts = self._attempts.pop(rej.seq, 1)
+                    if (
+                        self.retry is not None
+                        and rej.transient
+                        and attempts < self.retry.max_attempts
+                    ):
+                        pending.append((rej, attempts))
+                    else:
+                        final.append(rej)
+                self._attempts.clear()
+                if not pending:
+                    return final
+                await asyncio.sleep(
+                    max(self.retry.delay(a, self._rng) for _, a in pending)
+                )
+                while pending:
+                    rej, attempts = pending[0]
+                    seq = await self.send_event(rej.event)
+                    pending.pop(0)
+                    self._attempts[seq] = attempts + 1
+        except BaseException:
+            inflight = {id(e) for e in self.core._unacked.values()}
+            self.core.rejected[:0] = final + [
+                rej for rej, _ in pending if id(rej.event) not in inflight
+            ]
+            raise
 
     async def stream(self, events: list[RASEvent]) -> int:
         for event in events:
@@ -410,6 +595,11 @@ class AsyncPredictionClient:
             {"type": "health", "seq": self.core.next_seq()}
         )
 
+    async def fleet_status(self) -> dict[str, Any]:
+        return await self._request(
+            {"type": "fleet", "seq": self.core.next_seq(), "action": "status"}
+        )
+
     async def subscribe(self) -> None:
         await self._request({"type": "subscribe", "seq": self.core.next_seq()})
 
@@ -419,5 +609,6 @@ __all__ = [
     "DEFAULT_WINDOW",
     "PredictionClient",
     "Rejected",
+    "RetryPolicy",
     "ServerClosed",
 ]

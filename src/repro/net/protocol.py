@@ -16,6 +16,11 @@ echoed back on the response::
     {"type": "subscribe", "seq": 0}
     {"type": "metrics",   "seq": 1}
     {"type": "health",    "seq": 2}
+    {"type": "fleet",     "seq": 3, "action": "status"}
+    {"type": "fleet",     "seq": 4, "action": "split", "shard": "...", "parts": 2}
+    {"type": "fleet",     "seq": 5, "action": "merge", "shards": [...]}
+    {"type": "fleet",     "seq": 6, "action": "restart"}
+    {"type": "fleet",     "seq": 7, "action": "release", "shard": "..."}
 
 Response frames (server -> client)::
 
@@ -48,7 +53,12 @@ MAX_FRAME_BYTES = 256 * 1024
 
 #: Request frame types the server understands.
 REQUEST_TYPES = frozenset(
-    {"ingest", "advance", "flush", "subscribe", "metrics", "health"}
+    {"ingest", "advance", "flush", "subscribe", "metrics", "health", "fleet"}
+)
+
+#: Control-plane actions a ``fleet`` frame may carry.
+FLEET_ACTIONS = frozenset(
+    {"status", "split", "merge", "restart", "release"}
 )
 
 # Typed error codes carried by ``error`` responses.
@@ -58,6 +68,7 @@ ERR_BAD_EVENT = "bad-event"  # event rejected by validation
 ERR_FRAME_TOO_LARGE = "frame-too-large"
 ERR_SHARD_DOWN = "shard-down"
 ERR_DRAINING = "draining"  # server is shutting down; replay elsewhere
+ERR_RESHARD = "reshard"  # a fleet split/merge/restart that cannot run
 ERR_INTERNAL = "internal"
 
 
@@ -188,7 +199,9 @@ __all__ = [
     "ERR_DRAINING",
     "ERR_FRAME_TOO_LARGE",
     "ERR_INTERNAL",
+    "ERR_RESHARD",
     "ERR_SHARD_DOWN",
+    "FLEET_ACTIONS",
     "FrameBuffer",
     "MAX_FRAME_BYTES",
     "ProtocolError",

@@ -56,7 +56,12 @@ from repro.core.serialization import warning_to_dict
 from repro.net import protocol
 from repro.net.protocol import FrameBuffer, ProtocolError
 from repro.raslog.events import RASEvent
-from repro.service import PredictionService, ShardDown
+from repro.service import (
+    PredictionService,
+    ReshardError,
+    ShardDown,
+    ShardSupervisor,
+)
 
 #: Default micro-batch bounds: flush at this many events...
 DEFAULT_BATCH_SIZE = 64
@@ -68,6 +73,8 @@ DEFAULT_MAX_PENDING = 1024
 DEFAULT_MAX_UNACKED = 1024
 #: Per-subscriber bound on undelivered warning frames.
 DEFAULT_SUBSCRIBER_QUEUE = 256
+#: How often the shard supervisor polls, seconds.
+DEFAULT_SUPERVISE_INTERVAL = 0.05
 
 
 class _PendingEvent:
@@ -184,6 +191,9 @@ class PredictionServer:
         subscriber_queue: int = DEFAULT_SUBSCRIBER_QUEUE,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
         checkpoint_every: int | None = None,
+        supervisor: ShardSupervisor | None = None,
+        supervise: bool = True,
+        supervise_interval: float = DEFAULT_SUPERVISE_INTERVAL,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -207,6 +217,15 @@ class PredictionServer:
         self.subscriber_queue = subscriber_queue
         self.max_frame_bytes = max_frame_bytes
         self.checkpoint_every = checkpoint_every
+        # The control plane: restores crashed shards automatically and
+        # quarantines flappers.  Needs a fleet directory (restore_shard
+        # recovers from checkpoint + journal); memory-only services run
+        # unsupervised.
+        if supervisor is None and supervise and service.fleet_dir is not None:
+            supervisor = ShardSupervisor(service)
+        self.supervisor = supervisor
+        self.supervise_interval = supervise_interval
+        self._supervise_task: asyncio.Task | None = None
 
         #: counters reported by :meth:`serve` after the drain
         self.stats: dict[str, int] = {
@@ -237,6 +256,10 @@ class PredictionServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.supervisor is not None:
+            self._supervise_task = self._loop.create_task(
+                self._supervise_loop()
+            )
 
     async def serve(
         self,
@@ -278,6 +301,13 @@ class PredictionServer:
             return
         self.draining = True
         observe.counter("net.drains").inc()
+        if self._supervise_task is not None:
+            self._supervise_task.cancel()
+            try:
+                await self._supervise_task
+            except asyncio.CancelledError:
+                pass
+            self._supervise_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -299,6 +329,22 @@ class PredictionServer:
         """Run a service call on the single-threaded engine executor."""
         assert self._loop is not None
         return await self._loop.run_in_executor(self._engine, lambda: fn(*args))
+
+    async def _supervise_loop(self) -> None:
+        """Poll the shard supervisor on the engine thread until drain.
+
+        Every poll is one engine round-trip, so supervision interleaves
+        with micro-batch commits in FIFO order and never races the
+        service from a second thread.
+        """
+        assert self.supervisor is not None
+        while not self.draining:
+            await asyncio.sleep(self.supervise_interval)
+            if self.draining:
+                return
+            restored = await self._run_engine(self.supervisor.poll)
+            for key in restored:
+                observe.counter("net.shard_restores", shard=key).inc()
 
     async def _quiesce(self) -> None:
         """Commit all pending batches and wait for in-flight commits."""
@@ -378,6 +424,8 @@ class PredictionServer:
                 await self._handle_metrics(conn, seq)
             elif kind == "health":
                 await self._handle_health(conn, seq)
+            elif kind == "fleet":
+                await self._handle_fleet(conn, seq, frame)
         except ProtocolError as exc:
             await self._send_error(conn, seq, exc.code, str(exc))
 
@@ -588,6 +636,29 @@ class PredictionServer:
         snapshot = observe.get_registry().snapshot()
         await conn.send({"type": "metrics", "seq": seq, "metrics": snapshot})
 
+    def _shard_status(self) -> dict[str, dict[str, Any]]:
+        """Per-shard up/down/quarantined view, supervisor-enriched."""
+        if self.supervisor is not None:
+            return {
+                key: {
+                    "state": health.state,
+                    "restarts": health.restarts,
+                    "last_restart": health.last_restart,
+                    "last_error": health.last_error,
+                }
+                for key, health in self.supervisor.status().items()
+            }
+        down = self.service.down_shards
+        return {
+            key: {
+                "state": "down" if key in down else "up",
+                "restarts": 0,
+                "last_restart": None,
+                "last_error": None,
+            }
+            for key in self.service.shard_keys
+        }
+
     async def _handle_health(self, conn: _Connection, seq: int) -> None:
         pending = sum(s.inflight for s in self._shards.values())
         await conn.send(
@@ -597,12 +668,112 @@ class PredictionServer:
                 "status": "draining" if self.draining else "ok",
                 "shards": len(self.service.shard_keys),
                 "down_shards": sorted(self.service.down_shards),
+                "shard_status": self._shard_status(),
                 "accepted": self.stats["accepted"],
                 "pending": pending,
                 "subscribers": len(self._subscribers),
                 "connections": len(self._conns),
             }
         )
+
+    async def _handle_fleet(
+        self, conn: _Connection, seq: int, frame: dict[str, Any]
+    ) -> None:
+        """Control plane: fleet status, live resharding, rolling restart.
+
+        Mutating actions run on the engine executor, so they serialize
+        with micro-batch commits; a rolling restart issues one engine
+        call *per shard*, letting queued batches for other shards commit
+        between restarts — the fleet keeps acking throughout.
+        """
+        action = frame.get("action")
+        if action not in protocol.FLEET_ACTIONS:
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"unknown fleet action {action!r}; expected one of "
+                f"{sorted(protocol.FLEET_ACTIONS)}",
+            )
+        if action == "status":
+            await conn.send(
+                {
+                    "type": "fleet",
+                    "seq": seq,
+                    "epoch": self.service.epoch,
+                    "migration": self.service.migration,
+                    "shards": self._shard_status(),
+                }
+            )
+            return
+        if self.draining:
+            raise ProtocolError(protocol.ERR_DRAINING, "server is draining")
+        try:
+            if action == "split":
+                shard = frame.get("shard")
+                parts = frame.get("parts", 2)
+                if not isinstance(shard, str) or not isinstance(parts, int):
+                    raise ProtocolError(
+                        protocol.ERR_BAD_REQUEST,
+                        "fleet split needs a 'shard' string and integer "
+                        "'parts'",
+                    )
+                targets = await self._run_engine(
+                    self.service.split_shard, shard, parts
+                )
+                result: dict[str, Any] = {"targets": targets}
+            elif action == "merge":
+                shards = frame.get("shards")
+                if not isinstance(shards, list) or not all(
+                    isinstance(k, str) for k in shards
+                ):
+                    raise ProtocolError(
+                        protocol.ERR_BAD_REQUEST,
+                        "fleet merge needs a 'shards' list of shard keys",
+                    )
+                target = await self._run_engine(
+                    self.service.merge_shards,
+                    shards,
+                    frame.get("target"),
+                )
+                result = {"target": target}
+            elif action == "restart":
+                restarted = await self._rolling_restart()
+                result = {"restarted": restarted}
+            else:  # release
+                shard = frame.get("shard")
+                if not isinstance(shard, str):
+                    raise ProtocolError(
+                        protocol.ERR_BAD_REQUEST,
+                        "fleet release needs a 'shard' string",
+                    )
+                if self.supervisor is None:
+                    raise ProtocolError(
+                        protocol.ERR_RESHARD, "this fleet is unsupervised"
+                    )
+                await self._run_engine(self.supervisor.release, shard)
+                result = {"released": shard}
+        except (ReshardError, ValueError, KeyError) as exc:
+            raise ProtocolError(protocol.ERR_RESHARD, str(exc)) from exc
+        result.update(
+            {"type": "fleet", "seq": seq, "epoch": self.service.epoch}
+        )
+        await conn.send(result)
+
+    async def _rolling_restart(self) -> list[str]:
+        """Restart each up shard in its own engine call (traffic
+        interleaves between shards)."""
+        if self.supervisor is not None:
+            plan = await self._run_engine(self.supervisor.restart_plan)
+        else:
+            down = self.service.down_shards
+            plan = [
+                k for k in self.service.shard_keys if k not in down
+            ]
+        restarted: list[str] = []
+        for key in plan:
+            await self._run_engine(self.service.restart_shard, key)
+            restarted.append(key)
+            observe.counter("net.rolling_restarts", shard=key).inc()
+        return restarted
 
 
 @contextmanager

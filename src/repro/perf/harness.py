@@ -117,6 +117,11 @@ def load_trajectory(path: "str | Path") -> dict[str, Any]:
     """Read and validate one BENCH_* file."""
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{path}: top-level JSON must be an object, "
+            f"got {type(data).__name__}"
+        )
     if data.get("schema") != BENCH_SCHEMA_VERSION:
         raise ValueError(
             f"{path}: schema {data.get('schema')!r}, "

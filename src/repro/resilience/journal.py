@@ -182,12 +182,17 @@ class EventJournal:
         directory: str | Path,
         fsync: str | int = "always",
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        retain: bool = False,
     ) -> None:
         self.directory = Path(directory)
         self.fsync_policy = parse_fsync_policy(fsync)
         if segment_bytes < 1:
             raise ValueError(f"segment_bytes must be >= 1, got {segment_bytes}")
         self.segment_bytes = segment_bytes
+        #: keep checkpoint-covered segments (:meth:`compact` becomes a
+        #: no-op) — live resharding rebuilds shards by replaying their
+        #: journals from record 0, which a compacted journal cannot do.
+        self.retain = retain
         self.directory.mkdir(parents=True, exist_ok=True)
         #: torn records truncated when this journal was opened
         self.n_torn_truncated = 0
@@ -253,6 +258,17 @@ class EventJournal:
     def position(self) -> int:
         """Global index one past the last committed record."""
         return self._position
+
+    @property
+    def start_position(self) -> int:
+        """Global index of the earliest record still on disk.
+
+        0 for a journal that has never been compacted (or was opened
+        with ``retain=True``); resharding checks this before promising a
+        from-the-beginning replay.
+        """
+        segments = self._segments()
+        return segments[0][0] if segments else self._position
 
     @property
     def closed(self) -> bool:
@@ -434,8 +450,12 @@ class EventJournal:
 
         A segment may go once *every* record in it is below
         ``covered_position``; the active tail segment always stays.
-        Returns the number of segments removed.
+        Returns the number of segments removed.  A ``retain=True``
+        journal never compacts — its full history is the handoff
+        substrate for live resharding.
         """
+        if self.retain:
+            return 0
         segments = self._segments()
         removed = 0
         for i, (start, path) in enumerate(segments[:-1]):

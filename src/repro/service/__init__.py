@@ -18,25 +18,34 @@ recovers crash-consistently (:mod:`repro.service.service`)::
 """
 
 from repro.service.partition import (
+    FleetRouter,
     HashRouter,
     LocationRouter,
     Router,
+    RoutingRule,
     make_router,
     router_from_spec,
 )
+from repro.service.resharding import ReshardError
 from repro.service.service import (
     FleetSummary,
     PredictionService,
     ShardDown,
 )
+from repro.service.supervisor import ShardHealth, ShardSupervisor
 
 __all__ = [
+    "FleetRouter",
     "FleetSummary",
     "HashRouter",
     "LocationRouter",
     "PredictionService",
+    "ReshardError",
     "Router",
+    "RoutingRule",
     "ShardDown",
+    "ShardHealth",
+    "ShardSupervisor",
     "make_router",
     "router_from_spec",
 ]

@@ -15,6 +15,15 @@ Routing must be a pure function of the event (no clock, no RNG, no
 per-process salt), because the same log must shard identically across a
 crash/recover boundary — :func:`HashRouter.key` therefore uses CRC32,
 not Python's per-process-salted ``hash()``.
+
+Live resharding (:mod:`repro.service.resharding`) rewrites the topology
+without changing the base router: each committed split/merge appends a
+:class:`RoutingRule` and :class:`FleetRouter` applies the rules in
+commit order after the base routing.  Rules are pure too — a split
+buckets by ``crc32(location + "@" + parent)`` (salted with the parent
+key so child buckets do not degenerate against the base hash), a merge
+is a plain key rewrite — so a recovered fleet routes identically to the
+one that crashed.
 """
 
 from __future__ import annotations
@@ -60,7 +69,102 @@ class HashRouter:
         return {"shard_by": self.kind, "n_shards": self.n_shards}
 
 
-Router = LocationRouter | HashRouter
+@dataclass(frozen=True, slots=True)
+class RoutingRule:
+    """One committed topology rewrite: a shard split or a shard merge.
+
+    ``("split", (parent,), (child0, ..., childN-1))`` — events the
+    earlier routing stages send to ``parent`` are re-bucketed over the
+    children by ``crc32(location + "@" + parent) % N``.  The hash is
+    salted with the parent key so that splitting a shard that was itself
+    produced by ``crc32(location) % n`` does not map every location to
+    the same child.
+
+    ``("merge", (k0, ..., kM-1), (target,))`` — events for any source
+    key are rewritten to ``target``.
+
+    Rules compose: a later rule sees the key the earlier rules produced,
+    so a child shard can itself be split or merged.
+    """
+
+    kind: str
+    sources: tuple[str, ...]
+    targets: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("split", "merge"):
+            raise ValueError(f"unknown routing rule kind {self.kind!r}")
+        if self.kind == "split" and (
+            len(self.sources) != 1 or len(self.targets) < 2
+        ):
+            raise ValueError(
+                "a split rule takes exactly one source and >= 2 targets"
+            )
+        if self.kind == "merge" and (
+            len(self.sources) < 2 or len(self.targets) != 1
+        ):
+            raise ValueError(
+                "a merge rule takes >= 2 sources and exactly one target"
+            )
+
+    def apply(self, key: str, location: str) -> str:
+        if self.kind == "split":
+            if key != self.sources[0]:
+                return key
+            salted = f"{location}@{self.sources[0]}".encode("utf-8")
+            return self.targets[zlib.crc32(salted) % len(self.targets)]
+        if key in self.sources:
+            return self.targets[0]
+        return key
+
+    def to_spec(self) -> dict:
+        return {
+            "kind": self.kind,
+            "sources": list(self.sources),
+            "targets": list(self.targets),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "RoutingRule":
+        return cls(
+            kind=spec["kind"],
+            sources=tuple(spec["sources"]),
+            targets=tuple(spec["targets"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FleetRouter:
+    """A base router plus the ordered resharding rules committed so far."""
+
+    base: LocationRouter | HashRouter
+    rules: tuple[RoutingRule, ...] = ()
+
+    kind = "fleet"
+
+    def key(self, event: RASEvent) -> str:
+        key = self.base.key(event)
+        for rule in self.rules:
+            key = rule.apply(key, event.location)
+        return key
+
+    def spec(self) -> dict:
+        spec = dict(self.base.spec())
+        spec["rules"] = [rule.to_spec() for rule in self.rules]
+        return spec
+
+    def with_rule(self, rule: RoutingRule) -> "FleetRouter":
+        return FleetRouter(self.base, self.rules + (rule,))
+
+
+Router = LocationRouter | HashRouter | FleetRouter
+
+
+def as_fleet(router: Router) -> FleetRouter:
+    """Wrap a base router so resharding rules can be appended to it."""
+    if isinstance(router, FleetRouter):
+        return router
+    return FleetRouter(router)
 
 
 def make_router(shard_by: str = "location", shards: int | None = None) -> Router:
@@ -79,14 +183,28 @@ def make_router(shard_by: str = "location", shards: int | None = None) -> Router
 
 
 def router_from_spec(spec: dict) -> Router:
-    """Inverse of :meth:`Router.spec` (manifest round-trips)."""
-    return make_router(spec["shard_by"], spec["n_shards"])
+    """Inverse of :meth:`Router.spec` (manifest round-trips).
+
+    A v1 manifest carries no ``rules`` key — the base router comes back
+    bare.  Any committed resharding rules re-apply in their stored
+    (commit) order.
+    """
+    base = make_router(spec["shard_by"], spec["n_shards"])
+    rules = spec.get("rules")
+    if not rules:
+        return base
+    return FleetRouter(
+        base, tuple(RoutingRule.from_spec(r) for r in rules)
+    )
 
 
 __all__ = [
+    "FleetRouter",
     "HashRouter",
     "LocationRouter",
     "Router",
+    "RoutingRule",
+    "as_fleet",
     "make_router",
     "router_from_spec",
 ]

@@ -42,6 +42,8 @@ from __future__ import annotations
 
 import json
 import re
+import shutil
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -59,7 +61,11 @@ from repro.resilience.journal import EventJournal
 from repro.service.partition import Router, make_router, router_from_spec
 
 MANIFEST_FORMAT = "repro-service-manifest"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+#: manifest versions this build can recover from.  v1 (pre-resharding)
+#: carries no ``epoch``/``migration``/``retain_journals`` keys and no
+#: router rules; it reads as an epoch-0 fleet with no migration.
+MANIFEST_READABLE_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 SHARDS_DIRNAME = "shards"
 SHARD_META_NAME = "shard.json"
@@ -203,6 +209,7 @@ class PredictionService:
         origin: float = 0.0,
         fleet_dir: str | Path | None = None,
         journal_fsync: str | int = "always",
+        retain_journals: bool = False,
     ) -> None:
         self.config = config or FrameworkConfig()
         self.catalog = catalog or default_catalog()
@@ -210,11 +217,27 @@ class PredictionService:
         self.origin = float(origin)
         self.fleet_dir = Path(fleet_dir) if fleet_dir is not None else None
         self.journal_fsync = journal_fsync
+        #: never compact shard journals — keeps full from-record-0
+        #: history so live resharding can always rebuild from it
+        self.retain_journals = retain_journals
+        #: completed migrations so far; bumped atomically at each
+        #: reshard commit (the manifest write IS the commit point)
+        self.epoch = 0
+        #: in-flight migration record, mirrored in the manifest so a
+        #: crash mid-handoff is rolled forward by :meth:`recover`
+        self.migration: dict | None = None
+        self._next_index = 0
         self._executor = executor
         self._own_executor = own_executor and executor is not None
         self._shards: dict[str, _Shard] = {}
         self._down: set[str] = set()
         self._closed = False
+        # Serializes the streaming surface against close()/checkpoint()/
+        # resharding, so a concurrent close never tears a half-applied
+        # batch (callers get either the full effect or a clean
+        # "service is closed" RuntimeError).  RLock: checkpoint and the
+        # reshard engine call locked methods from locked sections.
+        self._lock = threading.RLock()
         if self.fleet_dir is not None:
             (self.fleet_dir / SHARDS_DIRNAME).mkdir(
                 parents=True, exist_ok=True
@@ -251,16 +274,20 @@ class PredictionService:
         return self.fleet_dir / SHARDS_DIRNAME / f"{index:03d}-{_slug(key)}"
 
     def _make_shard(self, key: str) -> _Shard:
-        index = len(self._shards)
+        index = self._next_index
+        self._next_index += 1
         directory = self._shard_dir(index, key)
         journal = None
         if directory is not None:
             directory.mkdir(parents=True, exist_ok=True)
             ckpt.atomic_write_json(
-                directory / SHARD_META_NAME, {"key": key, "index": index}
+                directory / SHARD_META_NAME,
+                {"key": key, "index": index, "epoch": self.epoch},
             )
             journal = EventJournal(
-                directory / JOURNAL_DIRNAME, fsync=self.journal_fsync
+                directory / JOURNAL_DIRNAME,
+                fsync=self.journal_fsync,
+                retain=self.retain_journals,
             )
         session = OnlinePredictionSession(
             self.config,
@@ -310,17 +337,18 @@ class PredictionService:
         (or from inside the shard's stack, e.g. a journal fault) marks
         the shard down and propagates; other shards keep serving.
         """
-        self._require_open()
-        shard = self._shard_for(event)
-        shard.routed += 1
-        plan = faults.active()
-        try:
-            if plan is not None:
-                plan.on_shard_event(shard.key, shard.routed)
-            return shard.metered.ingest(event)
-        except faults.FaultInjected:
-            self._mark_down(shard)
-            raise
+        with self._lock:
+            self._require_open()
+            shard = self._shard_for(event)
+            shard.routed += 1
+            plan = faults.active()
+            try:
+                if plan is not None:
+                    plan.on_shard_event(shard.key, shard.routed)
+                return shard.metered.ingest(event)
+            except faults.FaultInjected:
+                self._mark_down(shard)
+                raise
 
     def ingest_batch(self, events: list[RASEvent]) -> list[FailureWarning]:
         """Route a batch of events; returns all new warnings.
@@ -340,53 +368,56 @@ class PredictionService:
         already delivered to *other* shards stay applied, because each
         shard is an independent stream.
         """
-        self._require_open()
-        if not events:
-            return []
-        groups: dict[str, list[RASEvent]] = {}
-        for event in events:
-            groups.setdefault(self.router.key(event), []).append(event)
-        for key in groups:
-            if key in self._down:
-                raise ShardDown(key)
-        plan = faults.active()
-        new: list[FailureWarning] = []
-        for key, batch in groups.items():
-            shard = self._shards.get(key)
-            if shard is None:
-                shard = self._make_shard(key)
-            try:
-                if plan is not None:
-                    for event in batch:
-                        shard.routed += 1
-                        plan.on_shard_event(key, shard.routed)
-                else:
-                    shard.routed += len(batch)
-                new.extend(shard.metered.ingest_batch(batch))
-            except faults.FaultInjected:
-                self._mark_down(shard)
-                raise
-        return new
+        with self._lock:
+            self._require_open()
+            if not events:
+                return []
+            groups: dict[str, list[RASEvent]] = {}
+            for event in events:
+                groups.setdefault(self.router.key(event), []).append(event)
+            for key in groups:
+                if key in self._down:
+                    raise ShardDown(key)
+            plan = faults.active()
+            new: list[FailureWarning] = []
+            for key, batch in groups.items():
+                shard = self._shards.get(key)
+                if shard is None:
+                    shard = self._make_shard(key)
+                try:
+                    if plan is not None:
+                        for event in batch:
+                            shard.routed += 1
+                            plan.on_shard_event(key, shard.routed)
+                    else:
+                        shard.routed += len(batch)
+                    new.extend(shard.metered.ingest_batch(batch))
+                except faults.FaultInjected:
+                    self._mark_down(shard)
+                    raise
+            return new
 
     def advance(self, now: float) -> list[FailureWarning]:
         """Move every live shard's clock (idle timer service)."""
-        self._require_open()
-        new: list[FailureWarning] = []
-        for shard in self._shards.values():
-            if shard.key in self._down:
-                continue
-            new.extend(shard.metered.advance(now))
-        return new
+        with self._lock:
+            self._require_open()
+            new: list[FailureWarning] = []
+            for shard in self._shards.values():
+                if shard.key in self._down:
+                    continue
+                new.extend(shard.metered.advance(now))
+            return new
 
     def flush(self) -> list[FailureWarning]:
         """Drain every live shard's reorder buffer (end of stream)."""
-        self._require_open()
-        new: list[FailureWarning] = []
-        for shard in self._shards.values():
-            if shard.key in self._down:
-                continue
-            new.extend(shard.metered.flush())
-        return new
+        with self._lock:
+            self._require_open()
+            new: list[FailureWarning] = []
+            for shard in self._shards.values():
+                if shard.key in self._down:
+                    continue
+                new.extend(shard.metered.flush())
+            return new
 
     def warnings(self, key: str) -> list[FailureWarning]:
         """Warnings accumulated by shard ``key``."""
@@ -419,18 +450,23 @@ class PredictionService:
         Idempotent: a second close (e.g. the serve drain path and a
         ``with`` block both reaching it) is a no-op, so shards are never
         double-closed and the shared executor is released exactly once.
+        Close takes the service lock, so it serializes against an
+        in-flight ``ingest_batch`` from another thread: the batch either
+        fully applies (and its journal fds are still open while it does)
+        or the batch never started and raises the closed error.
         """
-        if self._closed:
-            return
-        self._closed = True
-        for shard in self._shards.values():
-            journal = shard.session.journal
-            if journal is not None:
-                journal.close()
-        if self._own_executor:
-            self._own_executor = False
-            assert self._executor is not None
-            self._executor.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for shard in self._shards.values():
+                journal = shard.session.journal
+                if journal is not None:
+                    journal.close()
+            if self._own_executor:
+                self._own_executor = False
+                assert self._executor is not None
+                self._executor.close()
 
     def __enter__(self) -> "PredictionService":
         return self
@@ -456,15 +492,17 @@ class PredictionService:
         written last (atomically), so a crash mid-checkpoint leaves a
         manifest that only references shard snapshots that fully exist.
         """
-        self._require_fleet_dir()
-        for shard in self._shards.values():
-            if shard.key in self._down:
-                continue
-            assert shard.directory is not None
-            shard.session.checkpoint(shard.directory / CHECKPOINT_NAME)
-        manifest = self._write_manifest()
-        observe.counter("service.checkpoints").inc()
-        return manifest
+        with self._lock:
+            self._require_open()
+            self._require_fleet_dir()
+            for shard in self._shards.values():
+                if shard.key in self._down:
+                    continue
+                assert shard.directory is not None
+                shard.session.checkpoint(shard.directory / CHECKPOINT_NAME)
+            manifest = self._write_manifest()
+            observe.counter("service.checkpoints").inc()
+            return manifest
 
     def _write_manifest(self) -> dict:
         fleet_dir = self.fleet_dir
@@ -472,6 +510,9 @@ class PredictionService:
         manifest = {
             "format": MANIFEST_FORMAT,
             "version": MANIFEST_VERSION,
+            "epoch": self.epoch,
+            "migration": self.migration,
+            "retain_journals": self.retain_journals,
             "router": self.router.spec(),
             "config_digest": ckpt.config_digest(self.config),
             "config": ckpt.config_to_dict(self.config),
@@ -507,27 +548,81 @@ class PredictionService:
         recorded position); the event whose delivery killed the shard
         was never durable and must be re-delivered by the caller.
         """
-        self._require_fleet_dir()
-        shard = self._shards[key]
-        if shard.directory is None:
-            raise ValueError(f"shard {key!r} has no directory to restore from")
-        session = OnlinePredictionSession.recover(
-            shard.directory / CHECKPOINT_NAME,
-            EventJournal(
-                shard.directory / JOURNAL_DIRNAME, fsync=self.journal_fsync
-            ),
-            self.config,
-            catalog=self.catalog,
-            executor=self._executor,
-            origin=self.origin,
-        )
-        shard.session = session
-        shard.metered = MeteredSession(
-            session, prefix="service", degraded_of=session, shard=key
-        )
-        self._down.discard(key)
-        observe.counter("service.shard_recoveries", shard=key).inc()
-        return session
+        with self._lock:
+            self._require_fleet_dir()
+            shard = self._shards[key]
+            if shard.directory is None:
+                raise ValueError(
+                    f"shard {key!r} has no directory to restore from"
+                )
+            session = OnlinePredictionSession.recover(
+                shard.directory / CHECKPOINT_NAME,
+                EventJournal(
+                    shard.directory / JOURNAL_DIRNAME,
+                    fsync=self.journal_fsync,
+                    retain=self.retain_journals,
+                ),
+                self.config,
+                catalog=self.catalog,
+                executor=self._executor,
+                origin=self.origin,
+            )
+            shard.session = session
+            shard.metered = MeteredSession(
+                session, prefix="service", degraded_of=session, shard=key
+            )
+            self._down.discard(key)
+            observe.counter("service.shard_recoveries", shard=key).inc()
+            return session
+
+    def restart_shard(self, key: str) -> OnlinePredictionSession:
+        """Drain one shard to disk and bring it back from its own state.
+
+        The rolling-restart primitive: checkpoint the shard, close its
+        journal (a clean shutdown of just that shard), then recover it
+        through the same checkpoint+replay path a crash would use — so a
+        rolling restart proves, shard by shard, that the fleet's durable
+        state is sufficient to continue.  A shard already marked down
+        skips the drain (there is nothing live to drain) and goes
+        straight to recovery.
+        """
+        with self._lock:
+            self._require_open()
+            self._require_fleet_dir()
+            shard = self._shards[key]
+            if key not in self._down:
+                assert shard.directory is not None
+                shard.session.checkpoint(shard.directory / CHECKPOINT_NAME)
+                journal = shard.session.journal
+                if journal is not None:
+                    journal.close()
+                self._down.add(key)
+            session = self.restore_shard(key)
+            observe.counter("service.rolling_restarts", shard=key).inc()
+            return session
+
+    # -- live resharding ---------------------------------------------------
+
+    def split_shard(self, key: str, parts: int) -> list[str]:
+        """Split a hot shard into ``parts`` children; returns their keys.
+
+        Checkpoint+journal handoff under a migration epoch — see
+        :mod:`repro.service.resharding` for the step protocol and the
+        crash-recovery contract.
+        """
+        from repro.service import resharding
+
+        with self._lock:
+            return resharding.split_shard(self, key, parts)
+
+    def merge_shards(
+        self, keys: list[str], target: str | None = None
+    ) -> str:
+        """Merge cold shards into one; returns the merged shard's key."""
+        from repro.service import resharding
+
+        with self._lock:
+            return resharding.merge_shards(self, keys, target=target)
 
     @classmethod
     def recover(
@@ -543,13 +638,24 @@ class PredictionService:
     ) -> "PredictionService":
         """Crash-consistent recovery of the whole fleet.
 
-        Reads the manifest (router spec, config, origin), then restores
-        every shard found on disk — manifest-listed or not, because a
-        shard created after the last manifest write still has its
-        ``shard.json`` identity record and journal.  Each shard resumes
-        from its checkpoint (if one exists) and replays its journal past
-        the recorded position; a shard killed before its first
-        checkpoint replays its whole journal into a fresh session.
+        Reads the manifest (router spec, config, origin, migration
+        epoch), then restores every shard found on disk — manifest-
+        listed or not, because a shard created after the last manifest
+        write still has its ``shard.json`` identity record and journal.
+        Each shard resumes from its checkpoint (if one exists) and
+        replays its journal past the recorded position; a shard killed
+        before its first checkpoint replays its whole journal into a
+        fresh session.
+
+        Unlisted directories are epoch-gated: a directory whose
+        ``shard.json`` epoch differs from the manifest's belongs to a
+        migration — either a target half-built when the process died
+        (newer epoch; the roll-forward below rebuilds it from scratch)
+        or a retired source the cleanup step never reached (older
+        epoch) — and is deleted, not resurrected.  If the manifest holds
+        an in-flight migration record, recovery finishes the handoff
+        (every step is idempotent), so the fleet always lands in the
+        committed topology.
 
         ``config`` defaults to the manifest's; passing one asserts
         compatibility (digest mismatch raises
@@ -562,13 +668,17 @@ class PredictionService:
             manifest = _read_json(
                 manifest_path, require_format=MANIFEST_FORMAT
             )
-            if manifest.get("version") != MANIFEST_VERSION:
+            if manifest.get("version") not in MANIFEST_READABLE_VERSIONS:
                 raise ckpt.CheckpointError(
                     f"{manifest_path}: unsupported manifest version "
                     f"{manifest.get('version')!r} (this build reads "
-                    f"version {MANIFEST_VERSION})"
+                    f"versions "
+                    f"{', '.join(map(str, MANIFEST_READABLE_VERSIONS))})"
                 )
         router = None
+        retain_journals = False
+        epoch = 0
+        migration = None
         if manifest is not None:
             router = router_from_spec(manifest["router"])
             if config is None:
@@ -582,6 +692,15 @@ class PredictionService:
                 origin = manifest["origin"]
             if journal_fsync is None:
                 journal_fsync = manifest["journal_fsync"]
+            # v1 manifests predate resharding: epoch 0, no migration.
+            retain_journals = manifest.get("retain_journals", False)
+            epoch = manifest.get("epoch", 0)
+            migration = manifest.get("migration")
+        # Construct WITHOUT fleet_dir: the constructor's eager manifest
+        # write would clobber the dead process's manifest — losing an
+        # in-flight migration record before it can be rolled forward if
+        # this recovery is itself killed.  The on-disk manifest stays
+        # exactly as the crash left it until commit or checkpoint.
         service = cls(
             config,
             catalog=catalog,
@@ -589,10 +708,19 @@ class PredictionService:
             executor=executor,
             own_executor=own_executor,
             origin=origin if origin is not None else 0.0,
-            fleet_dir=fleet_dir,
             journal_fsync=(
                 journal_fsync if journal_fsync is not None else "always"
             ),
+            retain_journals=retain_journals,
+        )
+        service.fleet_dir = fleet_dir
+        (fleet_dir / SHARDS_DIRNAME).mkdir(parents=True, exist_ok=True)
+        service.epoch = epoch
+        service.migration = migration
+        listed = (
+            None
+            if manifest is None
+            else {entry["dir"] for entry in manifest["shards"]}
         )
         shards_root = fleet_dir / SHARDS_DIRNAME
         found: list[tuple[int, str, Path]] = []
@@ -602,13 +730,24 @@ class PredictionService:
                 if not meta_path.exists():
                     continue
                 meta = _read_json(meta_path)
+                if listed is not None and (
+                    str(directory.relative_to(fleet_dir)) not in listed
+                ):
+                    # Unlisted + wrong epoch = migration debris (see
+                    # docstring); unlisted + current epoch = a shard
+                    # born after the last manifest write, keep it.
+                    if meta.get("epoch", epoch) != epoch:
+                        shutil.rmtree(directory)
+                        continue
                 found.append((meta["index"], meta["key"], directory))
         found.sort()
         for index, key, directory in found:
             session = OnlinePredictionSession.recover(
                 directory / CHECKPOINT_NAME,
                 EventJournal(
-                    directory / JOURNAL_DIRNAME, fsync=service.journal_fsync
+                    directory / JOURNAL_DIRNAME,
+                    fsync=service.journal_fsync,
+                    retain=service.retain_journals,
                 ),
                 service.config,
                 catalog=service.catalog,
@@ -624,8 +763,16 @@ class PredictionService:
                 ),
                 directory=directory,
             )
+        if found:
+            service._next_index = max(index for index, _, _ in found) + 1
         observe.gauge("service.shards").set(len(service._shards))
         observe.counter("service.recoveries").inc()
+        if service.migration is not None:
+            # The process died mid-handoff: roll the migration forward
+            # to its committed topology before serving anything.
+            from repro.service import resharding
+
+            resharding.resume_migration(service)
         return service
 
 
@@ -635,6 +782,7 @@ __all__ = [
     "JOURNAL_DIRNAME",
     "MANIFEST_FORMAT",
     "MANIFEST_NAME",
+    "MANIFEST_READABLE_VERSIONS",
     "MANIFEST_VERSION",
     "PredictionService",
     "SHARDS_DIRNAME",

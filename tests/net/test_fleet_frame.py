@@ -1,0 +1,317 @@
+"""The ``fleet`` control-plane frame and server-side supervision.
+
+Everything here runs over real sockets: fleet status, live resharding
+of a *served* fleet, rolling restarts under traffic, and the supervisor
+restoring a fault-killed shard while the server keeps acking.
+"""
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, ShardKill
+from repro.net import protocol
+from repro.net.client import PredictionClient, RetryPolicy
+from repro.net.protocol import ProtocolError
+from repro.net.server import serve_in_thread
+from repro.service import (
+    FleetRouter,
+    HashRouter,
+    PredictionService,
+    RoutingRule,
+    ShardSupervisor,
+)
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.conftest import make_event
+from tests.net.conftest import PRECURSOR_A, fast_config, fleet_events
+
+pytestmark = pytest.mark.net
+
+
+def durable_service(tmp_path, catalog, shards=2, **overrides):
+    return PredictionService(
+        fast_config(**overrides),
+        router=HashRouter(shards),
+        catalog=catalog,
+        fleet_dir=tmp_path / "fleet",
+        journal_fsync="never",
+        retain_journals=True,
+    )
+
+
+def victim_for(service, key):
+    """A location the router sends to ``key``."""
+    for i in range(256):
+        loc = f"R{i:02d}-M0-N{i % 10:02d}"
+        if service.router.key(make_event(0.0, location=loc)) == key:
+            return loc
+    raise AssertionError(f"no location routes to {key}")
+
+
+class TestFleetStatus:
+    def test_status_reports_epoch_and_shard_states(self, catalog, tmp_path):
+        events = fleet_events(weeks=3)
+        service = durable_service(tmp_path, catalog)
+        with serve_in_thread(service) as server:
+            with PredictionClient(server.host, server.port) as client:
+                client.stream(events)
+                status = client.fleet_status()
+        assert status["type"] == "fleet"
+        assert status["epoch"] == 0
+        assert status["migration"] is None
+        assert set(status["shards"]) == {"shard-000", "shard-001"}
+        for entry in status["shards"].values():
+            assert entry["state"] == "up"
+            assert entry["restarts"] == 0
+
+    def test_health_includes_shard_status_map(self, catalog, tmp_path):
+        service = durable_service(tmp_path, catalog)
+        with serve_in_thread(service) as server:
+            with PredictionClient(server.host, server.port) as client:
+                client.ingest(make_event(100.0, PRECURSOR_A))
+                health = client.health()
+        assert "shard_status" in health
+        for entry in health["shard_status"].values():
+            assert entry["state"] in {"up", "down", "quarantined"}
+
+    def test_unknown_action_is_bad_request(self, catalog, tmp_path):
+        service = durable_service(tmp_path, catalog)
+        with serve_in_thread(service) as server:
+            with PredictionClient(server.host, server.port) as client:
+                with pytest.raises(ProtocolError) as err:
+                    client._request(
+                        {
+                            "type": "fleet",
+                            "seq": client.core.next_seq(),
+                            "action": "explode",
+                        }
+                    )
+        assert err.value.code == protocol.ERR_BAD_REQUEST
+
+
+class TestLiveResharding:
+    def test_split_over_the_wire_matches_born_topology(
+        self, catalog, tmp_path
+    ):
+        """Stream half, split a hot shard live, stream the rest: the
+        served fleet must match one born with the final routing."""
+        events = fleet_events(weeks=5)
+        half = len(events) // 2
+        service = durable_service(tmp_path, catalog)
+        with serve_in_thread(service, batch_size=8) as server:
+            with PredictionClient(
+                server.host, server.port, timeout=60.0
+            ) as client:
+                assert client.stream(events[:half]) == half
+                response = client.split_shard("shard-000", 2)
+                assert response["epoch"] == 1
+                assert response["targets"] == [
+                    "shard-000/0",
+                    "shard-000/1",
+                ]
+                assert client.stream(events[half:]) == len(events) - half
+                client.flush()
+                status = client.fleet_status()
+        assert status["epoch"] == 1
+
+        rule = RoutingRule(
+            kind="split",
+            sources=("shard-000",),
+            targets=("shard-000/0", "shard-000/1"),
+        )
+        reference = PredictionService(
+            fast_config(),
+            router=FleetRouter(HashRouter(2), (rule,)),
+            catalog=catalog,
+        )
+        for event in events:
+            reference.ingest(event)
+        reference.flush()
+        for key in reference.shard_keys:
+            assert service.warnings(key) == reference.warnings(key), key
+        reference.close()
+
+    def test_merge_over_the_wire(self, catalog, tmp_path):
+        events = fleet_events(weeks=4)
+        half = len(events) // 2
+        service = durable_service(tmp_path, catalog, shards=3)
+        with serve_in_thread(service, batch_size=8) as server:
+            with PredictionClient(
+                server.host, server.port, timeout=60.0
+            ) as client:
+                assert client.stream(events[:half]) == half
+                response = client.merge_shards(
+                    ["shard-000", "shard-002"], target="cold"
+                )
+                assert response["epoch"] == 1
+                assert response["target"] == "cold"
+                assert client.stream(events[half:]) == len(events) - half
+                status = client.fleet_status()
+        assert "cold" in status["shards"]
+
+    def test_reshard_refusal_is_typed_and_connection_survives(
+        self, catalog, tmp_path
+    ):
+        service = durable_service(tmp_path, catalog)
+        with serve_in_thread(service) as server:
+            with PredictionClient(server.host, server.port) as client:
+                client.ingest(make_event(100.0, PRECURSOR_A))
+                with pytest.raises(ProtocolError) as err:
+                    client.split_shard("no-such-shard", 2)
+                assert err.value.code == protocol.ERR_RESHARD
+                # the connection is still good for data traffic
+                response = client.ingest(make_event(200.0, PRECURSOR_A))
+                assert response["type"] == "ack"
+
+
+class TestRollingRestart:
+    def test_restart_while_serving_keeps_acking(self, catalog, tmp_path):
+        """A rolling restart of a served fleet: every up shard cycles,
+        the stream before and after is fully acked, nothing is lost."""
+        events = fleet_events(weeks=4)
+        half = len(events) // 2
+        service = durable_service(tmp_path, catalog)
+        with serve_in_thread(service, batch_size=8) as server:
+            with PredictionClient(
+                server.host, server.port, timeout=60.0
+            ) as client:
+                assert client.stream(events[:half]) == half
+                response = client.rolling_restart()
+                assert sorted(response["restarted"]) == sorted(
+                    service.shard_keys
+                )
+                assert client.stream(events[half:]) == len(events) - half
+                client.flush()
+        assert service.n_ingested == len(events)
+
+
+class TestSupervisedServing:
+    def test_supervisor_restores_killed_shard_no_operator(
+        self, catalog, tmp_path
+    ):
+        """A shard dies under fire; the server's supervise loop brings
+        it back from checkpoint + journal with no operator action, and
+        the client's retry policy rides out the window — every event
+        is eventually acked and the fleet matches an unkilled run."""
+        # reorder slack spanning the whole stream (it is in seconds of
+        # event time): a retried event can land after arbitrarily newer
+        # events for the same shard once it comes back
+        events = fleet_events(weeks=4)
+        slack = 5 * WEEK_SECONDS
+        service = durable_service(
+            tmp_path, catalog, reorder_slack=slack
+        )
+        victim = "shard-000"
+        supervisor = ShardSupervisor(service, backoff_base=0.02)
+        kill_at = 1 + len(events) // 3
+        plan = FaultPlan(
+            shard_kills=[ShardKill(shard=victim, at_count=kill_at)]
+        )
+        with faults.install(plan):
+            with serve_in_thread(
+                service,
+                batch_size=8,
+                supervisor=supervisor,
+                supervise_interval=0.01,
+            ) as server:
+                with PredictionClient(
+                    server.host,
+                    server.port,
+                    timeout=60.0,
+                    retry=RetryPolicy(max_attempts=10, base=0.05),
+                ) as client:
+                    assert client.stream(events) == len(events)
+                    client.flush()
+                    status = client.fleet_status()
+        assert plan.injected  # the kill really fired
+        assert status["shards"][victim]["state"] == "up"
+        assert status["shards"][victim]["restarts"] >= 1
+        assert service.n_ingested == len(events)
+
+        reference = PredictionService(
+            fast_config(reorder_slack=slack),
+            router=HashRouter(2),
+            catalog=catalog,
+        )
+        for event in events:
+            reference.ingest(event)
+        reference.flush()
+        for key in reference.shard_keys:
+            assert service.warnings(key) == reference.warnings(key), key
+        reference.close()
+
+    def test_other_shards_serve_while_one_is_down(self, catalog, tmp_path):
+        """While the victim waits out its restore backoff, traffic for
+        healthy shards keeps acking and the victim's is typed."""
+        service = durable_service(tmp_path, catalog)
+        victim = "shard-000"
+        healthy = "shard-001"
+        # backoff far beyond the test's lifetime: no restore happens
+        supervisor = ShardSupervisor(service, backoff_base=300.0)
+        victim_loc = victim_for(service, victim)
+        healthy_loc = victim_for(service, healthy)
+        seed = [
+            make_event(
+                100.0 + i,
+                PRECURSOR_A,
+                location=[victim_loc, healthy_loc][i % 2],
+                record_id=i,
+            )
+            for i in range(8)
+        ]
+        plan = FaultPlan(
+            shard_kills=[ShardKill(shard=victim, at_count=3)]
+        )
+        with faults.install(plan):
+            with serve_in_thread(
+                service, supervisor=supervisor, supervise_interval=0.01
+            ) as server:
+                with PredictionClient(
+                    server.host, server.port, timeout=30.0, retry=None
+                ) as client:
+                    client.stream(seed)
+                    assert victim in service.down_shards
+                    down = client.ingest(
+                        make_event(300.0, PRECURSOR_A, location=victim_loc)
+                    )
+                    assert down["code"] == protocol.ERR_SHARD_DOWN
+                    ok = client.ingest(
+                        make_event(301.0, PRECURSOR_A, location=healthy_loc)
+                    )
+                    assert ok["type"] == "ack"
+                    status = client.fleet_status()
+                    assert status["shards"][victim]["state"] == "down"
+                    assert status["shards"][healthy]["state"] == "up"
+
+    def test_release_closes_circuit_over_the_wire(self, catalog, tmp_path):
+        service = durable_service(tmp_path, catalog)
+        supervisor = ShardSupervisor(service, backoff_base=0.01)
+        victim = "shard-000"
+        for i in range(8):
+            service.ingest(
+                make_event(
+                    100.0 + i,
+                    PRECURSOR_A,
+                    location=victim_for(
+                        service, ["shard-000", "shard-001"][i % 2]
+                    ),
+                    record_id=i,
+                )
+            )
+        supervisor.quarantine(victim)
+        with serve_in_thread(
+            service, supervisor=supervisor, supervise_interval=0.01
+        ) as server:
+            with PredictionClient(server.host, server.port) as client:
+                status = client.fleet_status()
+                assert status["shards"][victim]["state"] == "quarantined"
+                response = client.release_shard(victim)
+                assert response["released"] == victim
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    state = client.fleet_status()["shards"][victim]["state"]
+                    if state == "up":
+                        break
+                    time.sleep(0.02)
+                assert state == "up"

@@ -105,15 +105,18 @@ class TestServeVerb:
 
         def produce(i):
             part, client = partitions[i], None
+            sent = 0
             try:
                 client = PredictionClient(host, port, timeout=SERVE_TIMEOUT)
                 # phase 1: fully acknowledged before the kill
                 assert client.stream(part[: cut[i]]) == cut[i]
                 barrier.wait(timeout=SERVE_TIMEOUT)
-                # phase 2: racing the SIGTERM; rejections and silence
-                # both mean "mine to replay"
+                # phase 2: racing the SIGTERM; rejections, silence, and
+                # a connection that died before we finished sending all
+                # mean "mine to replay"
                 for event in part[cut[i] :]:
                     client.send_event(event)
+                    sent += 1
                 tails[i].extend(
                     r.event for r in client.wait_all()
                 )
@@ -121,7 +124,18 @@ class TestServeVerb:
                 pass
             finally:
                 if client is not None:
-                    tails[i].extend(client.unacked_events)
+                    # keyed by record id: a send that died halfway may
+                    # have registered its event as unacked already
+                    tail = {
+                        e.record_id: e for e in part[cut[i] + sent :]
+                    }
+                    for e in client.unacked_events:
+                        tail[e.record_id] = e
+                    # rejections wait_all classified but never returned
+                    # (the connection died mid-retry) are ours too
+                    for r in client.rejected:
+                        tail[r.event.record_id] = r.event
+                    tails[i].extend(tail.values())
                     client.close()
 
         threads = [
@@ -147,9 +161,12 @@ class TestServeVerb:
         assert accepted + total_tail == len(events)  # no loss, no dupes
 
         # replay exactly the unacknowledged tails (per producer, in
-        # send order — which is per-shard stream order)
+        # stream order: the retrying client may have re-sent a shed
+        # event after newer ones, so send order no longer is stream
+        # order — re-sorting the way fleet_events orders restores it)
         for tail in tails:
-            for event in tail:
+            ordered = sorted(tail, key=lambda e: (e.timestamp, e.record_id))
+            for event in ordered:
                 recovered.ingest(event)
         recovered.flush()
         assert recovered.n_ingested == len(events)

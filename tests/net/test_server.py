@@ -115,7 +115,7 @@ class TestBackpressure:
                 service, batch_size=10_000, max_linger=30.0, max_unacked=2
             ) as server:
                 with PredictionClient(
-                    server.host, server.port, window=64
+                    server.host, server.port, window=64, retry=None
                 ) as client:
                     for i in range(5):
                         client.send_event(
@@ -142,7 +142,9 @@ class TestBackpressure:
             with serve_in_thread(
                 service, batch_size=10_000, max_linger=30.0, max_pending=2
             ) as server:
-                with PredictionClient(server.host, server.port) as client:
+                with PredictionClient(
+                    server.host, server.port, retry=None
+                ) as client:
                     for i in range(4):
                         client.send_event(
                             make_event(100.0 + i, PRECURSOR_A)

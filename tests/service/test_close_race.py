@@ -1,0 +1,178 @@
+"""close() racing in-flight traffic, and use-after-close typing.
+
+The serving layer closes the service from a drain path while batches
+may still be queued behind the lock.  The contract under that race:
+every ``ingest_batch`` either commits fully (its events are durable and
+counted) or fails with the typed closed-service ``RuntimeError`` —
+never a partial commit, never a corrupting crash, and never an ack for
+an event close() then threw away.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.framework import FrameworkConfig
+from repro.service import HashRouter, PredictionService
+from tests.conftest import make_event
+
+PRECURSOR_A = "KERNEL-N-002"
+LOCS = ["R00-M0-N00", "R01-M1-N01", "R02-M0-N03", "R03-M1-N07"]
+
+
+def fast_config(**overrides):
+    return FrameworkConfig(
+        initial_train_weeks=2, retrain_weeks=2, **overrides
+    )
+
+
+def batches(n_batches, per_batch=4, start=100.0):
+    out = []
+    rid = 0
+    t = start
+    for _ in range(n_batches):
+        batch = []
+        for _ in range(per_batch):
+            batch.append(
+                make_event(
+                    t, PRECURSOR_A, location=LOCS[rid % 4], record_id=rid
+                )
+            )
+            rid += 1
+            t += 1.0
+        out.append(batch)
+    return out
+
+
+class TestCloseRace:
+    def test_ingest_batch_racing_close_commits_or_fails_typed(
+        self, catalog, tmp_path
+    ):
+        """Hammer ingest_batch from worker threads while the main
+        thread closes: every batch is all-in (counted after recovery)
+        or all-out (typed RuntimeError), nothing else."""
+        service = PredictionService(
+            fast_config(),
+            router=HashRouter(2),
+            catalog=catalog,
+            fleet_dir=tmp_path / "fleet",
+            journal_fsync="never",
+        )
+        work = batches(60)
+        committed = []
+        errors = []
+        started = threading.Barrier(5)
+
+        def worker(slice_):
+            started.wait()
+            for batch in slice_:
+                try:
+                    service.ingest_batch(batch)
+                except RuntimeError as exc:  # includes ShardDown
+                    errors.append(exc)
+                else:
+                    committed.append(batch)
+
+        threads = [
+            threading.Thread(target=worker, args=(work[i::4],))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        started.wait()
+        service.close()
+        for t in threads:
+            t.join()
+
+        assert all("closed" in str(e) for e in errors)
+        assert len(committed) + len(errors) == len(work)
+        # all-or-nothing per batch: the durable fleet replays exactly
+        # the committed batches
+        recovered = PredictionService.recover(
+            tmp_path / "fleet", fast_config(), catalog=catalog
+        )
+        assert recovered.n_ingested == sum(len(b) for b in committed)
+        recovered.close()
+
+    def test_concurrent_close_is_idempotent(self, catalog, tmp_path):
+        service = PredictionService(
+            fast_config(),
+            router=HashRouter(2),
+            catalog=catalog,
+            fleet_dir=tmp_path / "fleet",
+            journal_fsync="never",
+        )
+        for batch in batches(4):
+            service.ingest_batch(batch)
+        started = threading.Barrier(4)
+        failures = []
+
+        def closer():
+            started.wait()
+            try:
+                service.close()
+            except Exception as exc:  # noqa: BLE001 — the test's point
+                failures.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert service.closed
+
+
+class TestUseAfterClose:
+    def test_every_entry_point_raises_typed(self, catalog, tmp_path):
+        service = PredictionService(
+            fast_config(),
+            router=HashRouter(2),
+            catalog=catalog,
+            fleet_dir=tmp_path / "fleet",
+            journal_fsync="never",
+        )
+        for batch in batches(4):
+            service.ingest_batch(batch)
+        key = service.shard_keys[0]
+        service.close()
+
+        event = make_event(10_000.0, PRECURSOR_A, location=LOCS[0])
+        with pytest.raises(RuntimeError, match="closed"):
+            service.ingest(event)
+        with pytest.raises(RuntimeError, match="closed"):
+            service.ingest_batch([event])
+        with pytest.raises(RuntimeError, match="closed"):
+            service.advance(10_000.0)
+        with pytest.raises(RuntimeError, match="closed"):
+            service.flush()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.checkpoint()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.restart_shard(key)
+        with pytest.raises(RuntimeError, match="closed"):
+            service.split_shard(key, 2)
+        with pytest.raises(RuntimeError, match="closed"):
+            service.merge_shards(list(service.shard_keys))
+
+    def test_closed_journal_under_the_stack_cannot_be_written(
+        self, catalog, tmp_path
+    ):
+        """close() closes each shard's journal, so even a leaked session
+        reference cannot silently accept (and lose) events."""
+        service = PredictionService(
+            fast_config(),
+            router=HashRouter(2),
+            catalog=catalog,
+            fleet_dir=tmp_path / "fleet",
+            journal_fsync="never",
+        )
+        for batch in batches(4):
+            service.ingest_batch(batch)
+        leaked = service.session(service.shard_keys[0])
+        service.close()
+        assert leaked.journal.closed
+        with pytest.raises(Exception):  # JournalError on append
+            leaked.ingest(
+                make_event(10_000.0, PRECURSOR_A, location=LOCS[0])
+            )

@@ -4,8 +4,14 @@ import zlib
 
 import pytest
 
-from repro.service import HashRouter, LocationRouter, make_router
-from repro.service.partition import router_from_spec
+from repro.service import (
+    FleetRouter,
+    HashRouter,
+    LocationRouter,
+    RoutingRule,
+    make_router,
+)
+from repro.service.partition import as_fleet, router_from_spec
 from tests.conftest import make_event
 
 
@@ -63,3 +69,95 @@ class TestMakeRouter:
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ValueError, match="unknown partition scheme"):
             make_router("job")
+
+
+class TestRoutingRules:
+    def test_split_rule_buckets_only_the_source(self):
+        rule = RoutingRule(
+            kind="split",
+            sources=("shard-000",),
+            targets=("shard-000/0", "shard-000/1"),
+        )
+        salted = zlib.crc32(b"R05-M0-N02@shard-000") % 2
+        assert rule.apply("shard-000", "R05-M0-N02") == f"shard-000/{salted}"
+        assert rule.apply("shard-001", "R05-M0-N02") == "shard-001"
+
+    def test_split_salt_differs_from_base_hash(self):
+        """The child hash is salted by the parent key, so a location's
+        child bucket is independent of its base-router bucket."""
+        rule = RoutingRule(
+            kind="split", sources=("a",), targets=("a/0", "a/1")
+        )
+        picks = {
+            rule.apply("a", f"R{i:02d}-M0-N00") for i in range(32)
+        }
+        assert picks == {"a/0", "a/1"}
+
+    def test_merge_rule_rewrites_all_sources(self):
+        rule = RoutingRule(
+            kind="merge", sources=("x", "y"), targets=("z",)
+        )
+        assert rule.apply("x", "loc") == "z"
+        assert rule.apply("y", "loc") == "z"
+        assert rule.apply("w", "loc") == "w"
+
+    def test_rule_shape_validated(self):
+        with pytest.raises(ValueError):
+            RoutingRule(kind="split", sources=("a",), targets=("b",))
+        with pytest.raises(ValueError):
+            RoutingRule(kind="merge", sources=("a",), targets=("b",))
+        with pytest.raises(ValueError):
+            RoutingRule(kind="rotate", sources=("a",), targets=("b", "c"))
+
+    def test_spec_round_trips(self):
+        rule = RoutingRule(
+            kind="split", sources=("a",), targets=("a/0", "a/1")
+        )
+        assert RoutingRule.from_spec(rule.to_spec()) == rule
+
+
+class TestFleetRouter:
+    def test_rules_compose_in_order(self):
+        base = HashRouter(2)
+        event = make_event(1.0, location="R00-M0-N00")
+        parent = base.key(event)
+        split = RoutingRule(
+            kind="split",
+            sources=(parent,),
+            targets=(f"{parent}/0", f"{parent}/1"),
+        )
+        child = FleetRouter(base, (split,)).key(event)
+        assert child.startswith(f"{parent}/")
+        merge = RoutingRule(
+            kind="merge",
+            sources=(f"{parent}/0", f"{parent}/1"),
+            targets=("cold",),
+        )
+        assert FleetRouter(base, (split, merge)).key(event) == "cold"
+
+    def test_spec_round_trips_with_rules(self):
+        router = FleetRouter(
+            HashRouter(3),
+            (
+                RoutingRule(
+                    kind="split",
+                    sources=("shard-000",),
+                    targets=("shard-000/0", "shard-000/1"),
+                ),
+            ),
+        )
+        assert router_from_spec(router.spec()) == router
+
+    def test_empty_rules_spec_reads_as_bare_base(self):
+        """v1 manifests carry no 'rules' key; v2 with no migrations
+        yet must read back as the plain base router."""
+        spec = HashRouter(4).spec()
+        assert router_from_spec(spec) == HashRouter(4)
+        assert router_from_spec(FleetRouter(HashRouter(4)).spec()) == HashRouter(4)
+
+    def test_with_rule_appends(self):
+        base = LocationRouter()
+        rule = RoutingRule(kind="merge", sources=("a", "b"), targets=("c",))
+        fleet = as_fleet(base).with_rule(rule)
+        assert fleet.rules == (rule,)
+        assert as_fleet(fleet) is fleet

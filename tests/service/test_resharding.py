@@ -1,0 +1,322 @@
+"""Unit tests for live resharding: split, merge, and their refusals.
+
+The equivalence yardstick everywhere: a resharded fleet must produce
+warnings identical to a fleet *born* with the resulting topology, and
+an interrupted migration must recover to the same place.  Chaos-grade
+kill-at-every-step coverage lives in ``tests/test_chaos_reshard.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.framework import FrameworkConfig
+from repro.service import (
+    FleetRouter,
+    HashRouter,
+    PredictionService,
+    ReshardError,
+    RoutingRule,
+)
+from repro.service.service import MANIFEST_NAME
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.conftest import make_event
+
+PRECURSOR_A = "KERNEL-N-002"
+PRECURSOR_B = "KERNEL-N-003"
+FATAL = "KERNEL-F-000"
+
+LOCS = [
+    "R00-M0-N00",
+    "R01-M1-N01",
+    "R02-M0-N03",
+    "R03-M1-N07",
+    "R04-M0-N09",
+]
+
+
+def fast_config(**overrides):
+    return FrameworkConfig(
+        initial_train_weeks=2, retrain_weeks=2, **overrides
+    )
+
+
+def fleet_events(weeks=6, locations=LOCS):
+    """Interleaved per-location pattern streams, globally time-sorted."""
+    events = []
+    for offset, location in enumerate(locations):
+        t = 600.0 + offset * 37.0
+        while t + 900.0 < weeks * WEEK_SECONDS:
+            for dt, code in (
+                (0.0, PRECURSOR_A),
+                (200.0, PRECURSOR_B),
+                (900.0, FATAL),
+            ):
+                events.append(make_event(t + dt, code, location=location))
+            t += 10_800.0
+    events.sort(key=lambda e: e.timestamp)
+    return [
+        make_event(
+            e.timestamp,
+            e.entry_data,
+            severity=e.severity,
+            location=e.location,
+            record_id=i,
+        )
+        for i, e in enumerate(events)
+    ]
+
+
+def durable_service(tmp_path, catalog, name="fleet", shards=2, **kwargs):
+    return PredictionService(
+        fast_config(),
+        router=HashRouter(shards),
+        catalog=catalog,
+        fleet_dir=tmp_path / name,
+        journal_fsync="never",
+        retain_journals=True,
+        **kwargs,
+    )
+
+
+def warnings_by_shard(service):
+    return {k: service.warnings(k) for k in service.shard_keys}
+
+
+class TestSplit:
+    def test_split_matches_born_split_fleet(self, catalog, tmp_path):
+        events = fleet_events()
+        half = len(events) // 2
+        service = durable_service(tmp_path, catalog)
+        for event in events[:half]:
+            service.ingest(event)
+        targets = service.split_shard("shard-000", 2)
+        assert targets == ["shard-000/0", "shard-000/1"]
+        assert service.epoch == 1
+        for event in events[half:]:
+            service.ingest(event)
+        service.flush()
+
+        rule = RoutingRule(
+            kind="split", sources=("shard-000",), targets=tuple(targets)
+        )
+        reference = PredictionService(
+            fast_config(),
+            router=FleetRouter(HashRouter(2), (rule,)),
+            catalog=catalog,
+        )
+        for event in events:
+            reference.ingest(event)
+        reference.flush()
+        for key in reference.shard_keys:
+            assert service.warnings(key) == reference.warnings(key)
+        service.close()
+        reference.close()
+
+    def test_split_shard_dirs_and_manifest(self, catalog, tmp_path):
+        events = fleet_events(weeks=3)
+        service = durable_service(tmp_path, catalog)
+        for event in events:
+            service.ingest(event)
+        service.split_shard("shard-001", 2)
+        manifest = json.loads(
+            (tmp_path / "fleet" / MANIFEST_NAME).read_text()
+        )
+        assert manifest["epoch"] == 1
+        assert manifest["migration"] is None
+        keys = {entry["key"] for entry in manifest["shards"]}
+        assert "shard-001" not in keys
+        assert keys >= {"shard-001/0", "shard-001/1"} or (
+            # children that received no replayed events are lazily
+            # created later, matching a born-with-topology fleet
+            len(keys & {"shard-001/0", "shard-001/1"}) >= 1
+        )
+        assert manifest["router"]["rules"][0]["kind"] == "split"
+        # retired source directory is gone
+        dirs = {entry["dir"] for entry in manifest["shards"]}
+        assert not any("001-shard-001" in d for d in dirs)
+        service.close()
+
+    def test_recover_after_split_continues(self, catalog, tmp_path):
+        events = fleet_events()
+        half = len(events) // 2
+        service = durable_service(tmp_path, catalog)
+        for event in events[:half]:
+            service.ingest(event)
+        service.split_shard("shard-000", 2)
+        service.checkpoint()
+        service.close()
+
+        recovered = PredictionService.recover(
+            tmp_path / "fleet", fast_config(), catalog=catalog
+        )
+        assert recovered.epoch == 1
+        # the checkpoint restored exactly events[:half]; resume the
+        # stream from there — warnings ledgers survive the checkpoint,
+        # so the comparison below is over the FULL history
+        assert recovered.n_ingested == half
+        for event in events[half:]:
+            recovered.ingest(event)
+        recovered.flush()
+
+        rule = recovered.router.rules[0]
+        reference = PredictionService(
+            fast_config(),
+            router=FleetRouter(HashRouter(2), (rule,)),
+            catalog=catalog,
+        )
+        for event in events:
+            reference.ingest(event)
+        reference.flush()
+        for key in reference.shard_keys:
+            assert recovered.warnings(key) == reference.warnings(key)
+        recovered.close()
+        reference.close()
+
+
+class TestMerge:
+    def test_merge_matches_born_merged_fleet(self, catalog, tmp_path):
+        events = fleet_events()
+        half = len(events) // 2
+        service = durable_service(tmp_path, catalog, shards=3)
+        for event in events[:half]:
+            service.ingest(event)
+        target = service.merge_shards(["shard-000", "shard-002"])
+        assert target == "merged-001"
+        assert service.epoch == 1
+        for event in events[half:]:
+            service.ingest(event)
+        service.flush()
+
+        rule = RoutingRule(
+            kind="merge",
+            sources=("shard-000", "shard-002"),
+            targets=(target,),
+        )
+        reference = PredictionService(
+            fast_config(),
+            router=FleetRouter(HashRouter(3), (rule,)),
+            catalog=catalog,
+        )
+        for event in events:
+            reference.ingest(event)
+        reference.flush()
+        for key in reference.shard_keys:
+            assert service.warnings(key) == reference.warnings(key)
+        service.close()
+        reference.close()
+
+    def test_merge_custom_target_key(self, catalog, tmp_path):
+        events = fleet_events(weeks=3)
+        service = durable_service(tmp_path, catalog, shards=3)
+        for event in events:
+            service.ingest(event)
+        target = service.merge_shards(
+            ["shard-000", "shard-001"], target="cold"
+        )
+        assert target == "cold"
+        assert "cold" in service.shard_keys
+        service.close()
+
+    def test_merge_requires_zero_reorder_slack(self, catalog, tmp_path):
+        service = PredictionService(
+            fast_config(reorder_slack=4),
+            router=HashRouter(2),
+            catalog=catalog,
+            fleet_dir=tmp_path / "fleet",
+            journal_fsync="never",
+            retain_journals=True,
+        )
+        for event in fleet_events(weeks=3):
+            service.ingest(event)
+        with pytest.raises(ReshardError, match="reorder"):
+            service.merge_shards(["shard-000", "shard-001"])
+        service.close()
+
+
+class TestRefusals:
+    def test_unknown_shard(self, catalog, tmp_path):
+        service = durable_service(tmp_path, catalog)
+        service.ingest(make_event(100.0, PRECURSOR_A, location=LOCS[0]))
+        with pytest.raises(ReshardError, match="unknown shard"):
+            service.split_shard("nope", 2)
+        service.close()
+
+    def test_split_needs_two_parts(self, catalog, tmp_path):
+        service = durable_service(tmp_path, catalog)
+        service.ingest(make_event(100.0, PRECURSOR_A, location=LOCS[0]))
+        key = service.shard_keys[0]
+        with pytest.raises(ReshardError, match="parts"):
+            service.split_shard(key, 1)
+        service.close()
+
+    def test_merge_needs_two_distinct_sources(self, catalog, tmp_path):
+        service = durable_service(tmp_path, catalog)
+        for event in fleet_events(weeks=3):
+            service.ingest(event)
+        with pytest.raises(ReshardError):
+            service.merge_shards(["shard-000"])
+        with pytest.raises(ReshardError):
+            service.merge_shards(["shard-000", "shard-000"])
+        service.close()
+
+    def test_compacted_journal_refused_with_guidance(self, catalog, tmp_path):
+        """Without retain_journals the checkpoint compacts the journal,
+        so the full-replay precondition fails loudly, not corruptly."""
+        service = PredictionService(
+            fast_config(),
+            router=HashRouter(2),
+            catalog=catalog,
+            fleet_dir=tmp_path / "fleet",
+            journal_fsync="never",
+        )
+        events = fleet_events(weeks=3)
+        service.ingest(events[0])
+        # Tiny segments so this small stream actually rotates — at the
+        # default 4 MiB a short test journal is one segment and
+        # checkpoint compaction (whole trailing segments only) keeps it
+        # intact from record 0.
+        for key in service.shard_keys:
+            service.session(key).journal.segment_bytes = 256
+        for event in events[1:]:
+            service.ingest(event)
+        service.checkpoint()
+        with pytest.raises(ReshardError, match="retain_journals"):
+            service.split_shard("shard-000", 2)
+        service.close()
+
+    def test_requires_fleet_dir(self, catalog):
+        service = PredictionService(
+            fast_config(), router=HashRouter(2), catalog=catalog
+        )
+        service.ingest(make_event(100.0, PRECURSOR_A, location=LOCS[0]))
+        with pytest.raises(ValueError, match="fleet directory"):
+            service.split_shard(service.shard_keys[0], 2)
+        service.close()
+
+
+class TestManifestCompat:
+    def test_v1_manifest_still_readable(self, catalog, tmp_path):
+        """A pre-epoch manifest (version 1, no epoch/migration/
+        retain_journals keys) recovers as an epoch-0 fleet."""
+        events = fleet_events(weeks=3)
+        service = durable_service(tmp_path, catalog)
+        for event in events:
+            service.ingest(event)
+        service.checkpoint()
+        service.close()
+
+        path = tmp_path / "fleet" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["version"] = 1
+        for key in ("epoch", "migration", "retain_journals"):
+            manifest.pop(key, None)
+        manifest["router"].pop("rules", None)
+        path.write_text(json.dumps(manifest))
+
+        recovered = PredictionService.recover(
+            tmp_path / "fleet", fast_config(), catalog=catalog
+        )
+        assert recovered.epoch == 0
+        assert recovered.n_ingested == len(events)
+        recovered.close()
