@@ -1,0 +1,320 @@
+"""Deterministic online drift detectors over the filtered stream.
+
+Three complementary views of "the failure patterns moved", each cheap
+enough to run per event and each answering for a different way a regime
+can change:
+
+* :class:`EventMixDetector` — *what* is being logged.  Jensen–Shannon
+  divergence between a frozen baseline histogram over event codes and a
+  sliding window of the most recent codes.  Catches reconfigurations
+  that rewrite the precursor/fatal type mix even when volume holds.
+* :class:`InterArrivalDetector` — *when* things are logged.  A
+  two-sample Kolmogorov–Smirnov statistic between a frozen baseline
+  sample of per-location inter-arrival gaps and the current sliding
+  sample.  Catches burst-structure flips (tight cascades becoming
+  sparse trains and vice versa) that age statistical rules.
+* :class:`RuleHitRateDetector` — whether the *deployed rules* still
+  fire.  An EWMA of per-rule fire counts per evaluation period, scored
+  as the fraction of post-retrain baseline rules whose rate decayed
+  below a ratio of their baseline (rule churn as drift signal).
+
+All three are pure state machines: no wall clock, no RNG, no I/O.
+State round-trips through ``snapshot()``/``restore()`` (checkpoint
+format v3) and is rebuilt identically by journal replay, which is what
+keeps ``recover()`` warning-for-warning equivalent across a
+drift-triggered retrain boundary.  ``rebaseline()`` is called after
+every successful retraining: the stream the new rules were trained on
+becomes the new definition of "normal".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+from typing import Any, Mapping, Sequence
+
+from repro.alerts import FailureWarning
+
+#: Fewer samples than this on either side and a distribution statistic
+#: is noise, not signal — the detectors report 0.0 instead.
+MIN_SAMPLES = 16
+
+
+def js_divergence(p: Mapping[str, int], q: Mapping[str, int]) -> float:
+    """Jensen–Shannon divergence (base 2, in ``[0, 1]``) of two histograms."""
+    total_p = sum(p.values())
+    total_q = sum(q.values())
+    if total_p == 0 or total_q == 0:
+        return 0.0
+    js = 0.0
+    for key in p.keys() | q.keys():
+        pi = p.get(key, 0) / total_p
+        qi = q.get(key, 0) / total_q
+        mi = 0.5 * (pi + qi)
+        if pi > 0.0:
+            js += 0.5 * pi * math.log2(pi / mi)
+        if qi > 0.0:
+            js += 0.5 * qi * math.log2(qi / mi)
+    # Clamp float residue: JS with log2 is bounded by 1 exactly.
+    return min(max(js, 0.0), 1.0)
+
+
+def ks_statistic(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample KS statistic ``sup |F_a - F_b|`` over sorted samples.
+
+    The CDF difference is evaluated only *between* distinct values: both
+    pointers drain every sample tied at the current value before the
+    difference is taken.  Measuring mid-tie would report ~k/n for two
+    identical samples containing a k-long tie — and inter-arrival gaps
+    from periodic health checks are exactly such data.
+    """
+    if not a or not b:
+        return 0.0
+    i = j = 0
+    n_a, n_b = len(a), len(b)
+    stat = 0.0
+    while i < n_a and j < n_b:
+        v = a[i] if a[i] <= b[j] else b[j]
+        while i < n_a and a[i] <= v:
+            i += 1
+        while j < n_b and b[j] <= v:
+            j += 1
+        stat = max(stat, abs(i / n_a - j / n_b))
+    return stat
+
+
+class EventMixDetector:
+    """JS divergence of the sliding event-code window vs a frozen baseline.
+
+    Cascade bursts and warning floods repeat one code dozens of times in
+    minutes; counted raw they dominate a small window and the divergence
+    measures burst luck, not mix change.  ``bucket_seconds`` collapses
+    them: a code re-enters the window only after that long a gap, so the
+    histogram tracks *which* codes are in play — the thing a
+    reconfiguration rewrites — rather than how loudly each one fired.
+    """
+
+    name = "event_mix"
+
+    def __init__(
+        self, window_events: int = 256, bucket_seconds: float = 600.0
+    ) -> None:
+        if window_events < MIN_SAMPLES:
+            raise ValueError(
+                f"window_events must be >= {MIN_SAMPLES}, got {window_events}"
+            )
+        if bucket_seconds < 0:
+            raise ValueError(
+                f"bucket_seconds must be >= 0, got {bucket_seconds}"
+            )
+        self.window_events = window_events
+        self.bucket_seconds = bucket_seconds
+        self._window: deque[str] = deque(maxlen=window_events)
+        self._last_seen: dict[str, float] = {}
+        self._baseline: dict[str, int] | None = None
+
+    def observe(self, code: str, timestamp: float) -> None:
+        last = self._last_seen.get(code)
+        if last is not None and timestamp - last < self.bucket_seconds:
+            return
+        self._last_seen[code] = timestamp
+        self._window.append(code)
+
+    def score(self) -> float:
+        if self._baseline is None or len(self._window) < MIN_SAMPLES:
+            return 0.0
+        return js_divergence(self._baseline, Counter(self._window))
+
+    def rebaseline(self) -> None:
+        """Freeze the current window as the new "normal" mix."""
+        self._baseline = (
+            dict(Counter(self._window))
+            if len(self._window) >= MIN_SAMPLES
+            else None
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "window": list(self._window),
+            "last_seen": dict(self._last_seen),
+            "baseline": self._baseline,
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        self._window.clear()
+        self._window.extend(state["window"])
+        self._last_seen = dict(state["last_seen"])
+        baseline = state["baseline"]
+        self._baseline = None if baseline is None else dict(baseline)
+
+
+class InterArrivalDetector:
+    """KS statistic of per-location gap samples vs a frozen baseline.
+
+    Gaps are measured *per reporting location* (the time since that
+    location last logged anything), so a change in burst structure shows
+    up even when the aggregate event rate is steady.
+    """
+
+    name = "interarrival"
+
+    def __init__(self, window_gaps: int = 256) -> None:
+        if window_gaps < MIN_SAMPLES:
+            raise ValueError(
+                f"window_gaps must be >= {MIN_SAMPLES}, got {window_gaps}"
+            )
+        self.window_gaps = window_gaps
+        self._last_by_location: dict[str, float] = {}
+        self._window: deque[float] = deque(maxlen=window_gaps)
+        self._baseline: list[float] | None = None
+
+    def observe(self, timestamp: float, location: str) -> None:
+        last = self._last_by_location.get(location)
+        self._last_by_location[location] = timestamp
+        if last is not None and timestamp > last:
+            self._window.append(timestamp - last)
+
+    def score(self) -> float:
+        if self._baseline is None or len(self._window) < MIN_SAMPLES:
+            return 0.0
+        return ks_statistic(self._baseline, sorted(self._window))
+
+    def rebaseline(self) -> None:
+        self._baseline = (
+            sorted(self._window) if len(self._window) >= MIN_SAMPLES else None
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "last_by_location": dict(self._last_by_location),
+            "window": list(self._window),
+            "baseline": self._baseline,
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        self._last_by_location = dict(state["last_by_location"])
+        self._window.clear()
+        self._window.extend(state["window"])
+        baseline = state["baseline"]
+        self._baseline = None if baseline is None else list(baseline)
+
+
+def _rule_label(rule_key: object) -> str:
+    """Stable JSON-safe identity for a warning's ``rule_key`` tuple."""
+    return repr(rule_key)
+
+
+class RuleHitRateDetector:
+    """Fraction of post-retrain baseline rules whose fire rate decayed.
+
+    Per evaluation period (one week in the session), the fires of each
+    rule key are folded into an EWMA; after ``baseline_periods`` the
+    EWMA is frozen as the rule set's healthy fire profile.  The score is
+    the fraction of baseline rules now firing below ``decay_ratio`` of
+    their baseline rate — rule churn read directly off the live stream,
+    without waiting for labeled failures.
+
+    Only rules averaging at least ``min_rate`` fires per period make the
+    baseline: failures cluster, so a once-a-fortnight rule going quiet
+    for a week is weather, and counting it as decay drowns the signal of
+    the workhorse rules falling silent.
+    """
+
+    name = "rule_hit_rate"
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        decay_ratio: float = 0.5,
+        baseline_periods: int = 2,
+        min_rules: int = 2,
+        min_rate: float = 1.0,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+        if not 0.0 < decay_ratio < 1.0:
+            raise ValueError(
+                f"decay_ratio must lie in (0, 1), got {decay_ratio}"
+            )
+        if baseline_periods < 1:
+            raise ValueError(
+                f"baseline_periods must be >= 1, got {baseline_periods}"
+            )
+        if min_rate < 0:
+            raise ValueError(f"min_rate must be >= 0, got {min_rate}")
+        self.alpha = alpha
+        self.decay_ratio = decay_ratio
+        self.baseline_periods = baseline_periods
+        self.min_rules = min_rules
+        self.min_rate = min_rate
+        self._fires: dict[str, int] = {}
+        self._ewma: dict[str, float] = {}
+        self._baseline: dict[str, float] | None = None
+        self._periods = 0
+
+    def observe_warning(self, warning: FailureWarning) -> None:
+        label = _rule_label(warning.rule_key)
+        self._fires[label] = self._fires.get(label, 0) + 1
+
+    def fold_period(self) -> None:
+        """Close one evaluation period: fold fire counts into the EWMA."""
+        for label in self._ewma.keys() | self._fires.keys():
+            fires = float(self._fires.get(label, 0))
+            prev = self._ewma.get(label)
+            self._ewma[label] = (
+                fires
+                if prev is None
+                else self.alpha * fires + (1.0 - self.alpha) * prev
+            )
+        self._fires.clear()
+        self._periods += 1
+        if self._baseline is None and self._periods >= self.baseline_periods:
+            baseline = {
+                k: v
+                for k, v in self._ewma.items()
+                if v > 0.0 and v >= self.min_rate
+            }
+            if len(baseline) >= self.min_rules:
+                self._baseline = baseline
+
+    def score(self) -> float:
+        if not self._baseline:
+            return 0.0
+        decayed = sum(
+            1
+            for label, rate in self._baseline.items()
+            if self._ewma.get(label, 0.0) < self.decay_ratio * rate
+        )
+        return decayed / len(self._baseline)
+
+    def rebaseline(self) -> None:
+        """A fresh rule set fires from scratch: drop all rate history."""
+        self._fires.clear()
+        self._ewma.clear()
+        self._baseline = None
+        self._periods = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "fires": dict(self._fires),
+            "ewma": dict(self._ewma),
+            "baseline": self._baseline,
+            "periods": self._periods,
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        self._fires = dict(state["fires"])
+        self._ewma = dict(state["ewma"])
+        baseline = state["baseline"]
+        self._baseline = None if baseline is None else dict(baseline)
+        self._periods = state["periods"]
+
+
+__all__ = [
+    "EventMixDetector",
+    "InterArrivalDetector",
+    "MIN_SAMPLES",
+    "RuleHitRateDetector",
+    "js_divergence",
+    "ks_statistic",
+]

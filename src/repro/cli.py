@@ -237,6 +237,7 @@ def _run_streaming(
             if args.checkpoint:
                 session.checkpoint(args.checkpoint)
             summary = session.summary()
+            drift = session.drift_status()
     finally:
         if journal is not None:
             journal.close()
@@ -247,6 +248,8 @@ def _run_streaming(
         f"{len(summary.retrain_failures)} retrain failures, "
         f"{summary.n_quarantined} quarantined)"
     )
+    if drift is not None:
+        print(_render_drift(drift))
     return 0
 
 
@@ -255,6 +258,24 @@ def _sharding_requested(args: argparse.Namespace) -> bool:
         getattr(args, "shard_by", None)
         or getattr(args, "shards", None)
         or getattr(args, "fleet_dir", None)
+    )
+
+
+def _render_drift(status: dict, indent: str = "  ") -> str:
+    """One-line operator rendering of a DriftMonitor.status() dict."""
+    scores = ", ".join(
+        f"{name}={value:.2f}" for name, value in sorted(status["scores"].items())
+    )
+    triggers = ", ".join(
+        f"wk{t['week']}:{t['cause']}" for t in status["triggers"]
+    ) or "none"
+    return (
+        f"{indent}drift: scores [{scores}] "
+        f"{'armed' if status['armed'] else 'disarmed'}, "
+        f"last retrain wk{status['last_retrain_week']}, "
+        f"{status['evaluations']} evaluations "
+        f"({status['skipped_retrains']} skipped, "
+        f"{status['deferred']} deferred), triggers: {triggers}"
     )
 
 
@@ -328,7 +349,13 @@ def _run_service(
         if durable:
             service.checkpoint()
         summary = service.summary()
+        drift = service.drift_status() if service.adaptive else None
     _print_fleet_summary(summary)
+    if drift:
+        for key in sorted(drift):
+            if drift[key] is not None:
+                print(f"  shard {key}:")
+                print(_render_drift(drift[key], indent="    "))
     return 0
 
 
@@ -346,6 +373,9 @@ def _framework_config(args: argparse.Namespace) -> FrameworkConfig:
         initial_train_weeks=args.initial_weeks,
         use_reviser=not args.no_reviser,
         on_retrain_error=args.on_retrain_error,
+        retrain_trigger=args.retrain_trigger,
+        adapt_cooldown_weeks=args.adapt_cooldown_weeks,
+        adapt_max_interval_weeks=args.adapt_max_interval_weeks,
     )
 
 
@@ -360,7 +390,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _framework_config(args)
     if _sharding_requested(args):
         return _run_service(args, config)
-    if args.checkpoint or args.resume or args.journal:
+    if (
+        args.checkpoint
+        or args.resume
+        or args.journal
+        or config.retrain_trigger == "adaptive"
+    ):
+        # The adaptive trigger lives in the online session (drift
+        # detectors feed off the stream); the batch framework below
+        # only knows the paper's fixed cadence.
         return _run_streaming(args, config)
     log, report = _prepare_log(args.input, strict=args.strict)
     _print_parse_report(report)
@@ -418,6 +456,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             retrain_weeks=args.retrain_weeks,
             policy=dynamic_months(args.train_months),
             initial_train_weeks=args.initial_weeks,
+            retrain_trigger=args.retrain_trigger,
         )
         if _sharding_requested(args):
             with PredictionService(
@@ -589,8 +628,18 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
         f"fleet at {args.host}:{args.port}: epoch {status['epoch']}, "
         f"{len(status['shards'])} shard(s)"
         + (f", migration in flight: {migration['kind']}" if migration else "")
+        + (
+            ", adaptive retraining"
+            if status.get("retrain_trigger") == "adaptive"
+            else ""
+        )
     )
     _print_shard_table(status["shards"])
+    drift = status.get("drift") or {}
+    for key in sorted(drift):
+        if drift[key] is not None:
+            print(f"  {key}:")
+            print(_render_drift(drift[key], indent="    "))
     return 0
 
 
@@ -665,7 +714,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name in sorted(SUITES):
             print(name)
         return 0
-    names = args.suite or sorted(SUITES)
+    if args.scenario is not None:
+        # A scenario pins the regime-change trace of the drift suite;
+        # the other suites have no notion of one.
+        names = args.suite or ["drift_adapt"]
+    else:
+        names = args.suite or sorted(SUITES)
     unknown = [n for n in names if n not in SUITES]
     if unknown:
         print(
@@ -674,9 +728,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.scenario is not None and names != ["drift_adapt"]:
+        print(
+            "--scenario only applies to the drift_adapt suite",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scenario is not None:
+        from repro.raslog.scenarios import SCENARIOS
+
+        if args.scenario not in SCENARIOS:
+            print(
+                f"unknown scenario {args.scenario!r}; "
+                f"available: {', '.join(sorted(SCENARIOS))}",
+                file=sys.stderr,
+            )
+            return 2
     for name in names:
         started = time.perf_counter()
-        path, metrics = run_suite(name, smoke=args.smoke, directory=args.out_dir)
+        path, metrics = run_suite(
+            name,
+            smoke=args.smoke,
+            directory=args.out_dir,
+            scenario=args.scenario,
+        )
         elapsed = time.perf_counter() - started
         print(f"{name} ({elapsed:.1f}s) -> {path}")
         for metric_name, metric in sorted(metrics.items()):
@@ -748,6 +823,29 @@ def _add_model_options(parser: argparse.ArgumentParser) -> None:
         choices=("raise", "degrade"),
         help="degrade: absorb retraining crashes and keep predicting "
         "with the previous rules (default: raise)",
+    )
+    parser.add_argument(
+        "--retrain-trigger",
+        default="fixed",
+        choices=("fixed", "adaptive"),
+        help="adaptive: retrain when the repro.adapt drift detectors "
+        "fire instead of every --retrain-weeks (default: fixed)",
+    )
+    parser.add_argument(
+        "--adapt-cooldown-weeks",
+        type=int,
+        default=2,
+        metavar="N",
+        help="adaptive trigger: weeks after a retraining during which "
+        "drift triggers are suppressed (default: 2)",
+    )
+    parser.add_argument(
+        "--adapt-max-interval-weeks",
+        type=int,
+        default=8,
+        metavar="N",
+        help="adaptive trigger: retrain at least every N weeks even "
+        "without drift (default: 8)",
     )
 
 
@@ -1054,6 +1152,14 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--train-months", type=int, default=6)
     m.add_argument("--initial-weeks", type=int, default=26)
     m.add_argument(
+        "--retrain-trigger",
+        default="fixed",
+        choices=("fixed", "adaptive"),
+        help="adaptive: drift-triggered retraining; the adapt.* series "
+        "(drift scores, trigger causes, skipped retrains) land in the "
+        "emitted registry",
+    )
+    m.add_argument(
         "--executor", default="serial", choices=("serial", "thread", "process")
     )
     m.add_argument("--workers", type=int, default=None)
@@ -1090,6 +1196,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="CI-scale workloads (distinct params_digest, so smoke runs "
         "are only ever gated against smoke baselines)",
+    )
+    b.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="regime-change scenario for the drift_adapt suite "
+        "(reconfiguration, maintenance_window); implies --suite drift_adapt",
     )
     b.add_argument(
         "--out-dir",

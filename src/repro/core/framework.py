@@ -81,6 +81,30 @@ class FrameworkConfig:
     #: ``"scan"`` exists so the perf harness can measure the compiled
     #: index against the original matcher end-to-end.
     predictor_indexing: str = "compiled"
+    #: How retrainings are scheduled: ``"fixed"`` retrains every
+    #: ``retrain_weeks`` (the paper's metronome); ``"adaptive"`` evaluates
+    #: the :mod:`repro.adapt` drift detectors at every week boundary and
+    #: retrains when patterns actually moved (with a cooldown after each
+    #: retraining and a forced retrain at least every
+    #: ``adapt_max_interval_weeks``).
+    retrain_trigger: str = "fixed"
+    #: Jensen–Shannon event-mix divergence that triggers a retrain.
+    adapt_mix_threshold: float = 0.45
+    #: KS inter-arrival-shift statistic that triggers a retrain.
+    adapt_gap_threshold: float = 0.45
+    #: Fraction of baseline rules decayed that triggers a retrain.
+    adapt_rule_threshold: float = 0.6
+    #: Weeks after a successful retraining during which drift triggers
+    #: are suppressed (fresh rules re-baseline first).
+    adapt_cooldown_weeks: int = 2
+    #: A quiet stream still retrains at least every this many weeks
+    #: (``WR_max``, the adaptive mode's safety net).
+    adapt_max_interval_weeks: int = 8
+    #: Sliding-window size (events / gap samples) of the drift detectors.
+    adapt_window_events: int = 256
+    #: Re-arm fraction: after a drift trigger, scores must fall below
+    #: ``hysteresis`` × threshold before another drift trigger can fire.
+    adapt_hysteresis: float = 0.6
 
     def __post_init__(self) -> None:
         if self.prediction_window <= 0:
@@ -124,6 +148,36 @@ class FrameworkConfig:
             raise ValueError(
                 f"retrain_backoff_cap ({self.retrain_backoff_cap}) must be "
                 f">= retrain_backoff_base ({self.retrain_backoff_base})"
+            )
+        if self.retrain_trigger not in ("fixed", "adaptive"):
+            raise ValueError(
+                f"retrain_trigger must be 'fixed' or 'adaptive', "
+                f"got {self.retrain_trigger!r}"
+            )
+        for name in (
+            "adapt_mix_threshold",
+            "adapt_gap_threshold",
+            "adapt_rule_threshold",
+            "adapt_hysteresis",
+        ):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must lie in (0, 1], got {value}")
+        if self.adapt_cooldown_weeks < 0:
+            raise ValueError(
+                f"adapt_cooldown_weeks must be >= 0, "
+                f"got {self.adapt_cooldown_weeks}"
+            )
+        if self.adapt_max_interval_weeks <= self.adapt_cooldown_weeks:
+            raise ValueError(
+                f"adapt_max_interval_weeks "
+                f"({self.adapt_max_interval_weeks}) must exceed "
+                f"adapt_cooldown_weeks ({self.adapt_cooldown_weeks})"
+            )
+        if self.adapt_window_events < 16:
+            raise ValueError(
+                f"adapt_window_events must be >= 16, "
+                f"got {self.adapt_window_events}"
             )
 
     def with_(self, **changes) -> "FrameworkConfig":

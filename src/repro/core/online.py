@@ -194,6 +194,15 @@ class OnlinePredictionSession:
         """Whether a retraining is currently owed after failures."""
         return self._core.degraded
 
+    @property
+    def adaptive(self) -> bool:
+        """Whether retraining is drift-triggered rather than fixed-cadence."""
+        return self._core.adaptive
+
+    def drift_status(self) -> dict | None:
+        """Drift-detector/policy state, or None with the fixed trigger."""
+        return self._core.drift_status()
+
     def history(self) -> EventLog:
         """Everything ingested so far, as an EventLog.
 
@@ -414,6 +423,11 @@ class OnlinePredictionSession:
             "journal": (
                 None if journal is None else {"position": journal.position}
             ),
+            # Drift-detector + adaptive-policy state (format v3).  None:
+            # fixed-cadence trigger, nothing to capture.
+            "adapt": (
+                None if core._adapt is None else core._adapt.snapshot()
+            ),
             "reorder": (
                 None
                 if self._reordering is None
@@ -524,6 +538,13 @@ class OnlinePredictionSession:
         core.warnings = [
             ckpt.warning_from_dict(d) for d in payload["warnings"]
         ]
+
+        # v2 files predate the drift subsystem; their configs are always
+        # fixed-cadence (the adaptive config fields change the digest),
+        # so a missing/None field never drops adaptive state.
+        adapt_state = payload.get("adapt")
+        if core._adapt is not None and adapt_state is not None:
+            core._adapt.restore(adapt_state)
 
         reorder = payload["reorder"]
         if reorder is not None and session._reordering is not None:

@@ -34,6 +34,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro import observe
+from repro.adapt import DriftMonitor
 from repro.alerts import FailureWarning
 from repro.core.framework import FrameworkConfig, RetrainEvent
 from repro.core.knowledge import KnowledgeRepository
@@ -135,8 +136,10 @@ class SessionCore:
         self._fatal_codes: list[str] = []
         self._last_time = self.origin
         self._predictor: Predictor | None = None
-        #: week number of the next scheduled retraining
-        self._next_retrain_week = self.config.initial_train_weeks
+        #: week number of the next scheduled retraining boundary (with
+        #: the adaptive trigger: the next weekly drift *evaluation*);
+        #: None once a non-retraining policy has run its initial training
+        self._next_retrain_week: int | None = self.config.initial_train_weeks
         #: week still owed a successful retraining (degraded mode)
         self._pending_retrain_week: int | None = None
         #: consecutive retrain failures since the last success
@@ -147,6 +150,12 @@ class SessionCore:
         self._degraded_since: float | None = None
         #: events dropped from the head of ``_events`` by a tail resume
         self._history_dropped = 0
+        #: drift detectors + adaptive retrain policy (None: fixed cadence)
+        self._adapt: DriftMonitor | None = (
+            DriftMonitor.from_config(self.config)
+            if self.config.retrain_trigger == "adaptive"
+            else None
+        )
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -168,6 +177,15 @@ class SessionCore:
     def last_time(self) -> float:
         """The stream clock: timestamp of the newest observed instant."""
         return self._last_time
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether retraining is drift-triggered rather than fixed-cadence."""
+        return self._adapt is not None
+
+    def drift_status(self) -> dict | None:
+        """Drift-detector/policy state, or None with the fixed trigger."""
+        return None if self._adapt is None else self._adapt.status()
 
     def history(self) -> EventLog:
         """Everything ingested so far, as an EventLog.
@@ -249,10 +267,14 @@ class SessionCore:
         )
 
     def _schedule_after(self, week: int) -> None:
-        if self.config.policy.retrains:
-            self._next_retrain_week = week + self.config.retrain_weeks
+        if not self.config.policy.retrains:
+            self._next_retrain_week = None
+        elif self._adapt is not None:
+            # Adaptive trigger: every week boundary is an *evaluation*;
+            # whether it becomes a retraining is the policy's call.
+            self._next_retrain_week = week + 1
         else:
-            self._next_retrain_week = None  # type: ignore[assignment]
+            self._next_retrain_week = week + self.config.retrain_weeks
 
     def _attempt_retrain(self, week: int, now: float) -> None:
         """One retraining try; in degraded mode a failure is absorbed."""
@@ -288,6 +310,8 @@ class SessionCore:
                     max(0.0, now - self._degraded_since)
                 )
                 self._degraded_since = None
+            if self._adapt is not None:
+                self._adapt.retrained(week)
 
     def _cross_boundaries(self, t: float) -> None:
         """Run any retrainings whose boundary the stream has crossed, and
@@ -298,6 +322,17 @@ class SessionCore:
         ):
             week = self._next_retrain_week
             self._schedule_after(week)
+            if self._adapt is not None:
+                if self._pending_retrain_week is not None:
+                    # Degraded: a retraining is already owed to the retry
+                    # machinery.  A drift signal now must defer to it —
+                    # never queue a second retraining for the same regime
+                    # change.
+                    self._adapt.evaluate(week, deferred=True)
+                    continue
+                decision = self._adapt.evaluate(week)
+                if not decision.retrain:
+                    continue
             # The newest crossed boundary supersedes an older owed week:
             # its training window is the current one.
             self._pending_retrain_week = week
@@ -328,12 +363,16 @@ class SessionCore:
         if code in self.catalog and self.catalog.is_fatal_code(code):
             self._fatal_times.append(event.timestamp)
             self._fatal_codes.append(code)
+        if self._adapt is not None:
+            self._adapt.observe_event(code, event.timestamp, event.location)
 
         if self._predictor is None:
             return []
         with observe.timer("online.ingest"):
             new = self._predictor.feed(event, tick=self.config.tick)
         self.warnings.extend(new)
+        if self._adapt is not None and new:
+            self._adapt.observe_warnings(new)
         return new
 
     def advance(self, now: float) -> list[FailureWarning]:
@@ -348,6 +387,8 @@ class SessionCore:
             return []
         caught = self._predictor.catch_up(now, self.config.tick)
         self.warnings.extend(caught)
+        if self._adapt is not None and caught:
+            self._adapt.observe_warnings(caught)
         return caught
 
     def flush(self) -> list[FailureWarning]:

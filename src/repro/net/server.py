@@ -661,20 +661,22 @@ class PredictionServer:
 
     async def _handle_health(self, conn: _Connection, seq: int) -> None:
         pending = sum(s.inflight for s in self._shards.values())
-        await conn.send(
-            {
-                "type": "health",
-                "seq": seq,
-                "status": "draining" if self.draining else "ok",
-                "shards": len(self.service.shard_keys),
-                "down_shards": sorted(self.service.down_shards),
-                "shard_status": self._shard_status(),
-                "accepted": self.stats["accepted"],
-                "pending": pending,
-                "subscribers": len(self._subscribers),
-                "connections": len(self._conns),
-            }
-        )
+        payload = {
+            "type": "health",
+            "seq": seq,
+            "status": "draining" if self.draining else "ok",
+            "shards": len(self.service.shard_keys),
+            "down_shards": sorted(self.service.down_shards),
+            "shard_status": self._shard_status(),
+            "accepted": self.stats["accepted"],
+            "pending": pending,
+            "subscribers": len(self._subscribers),
+            "connections": len(self._conns),
+            "retrain_trigger": self.service.config.retrain_trigger,
+        }
+        if self.service.adaptive:
+            payload["drift"] = self.service.drift_status()
+        await conn.send(payload)
 
     async def _handle_fleet(
         self, conn: _Connection, seq: int, frame: dict[str, Any]
@@ -694,15 +696,17 @@ class PredictionServer:
                 f"{sorted(protocol.FLEET_ACTIONS)}",
             )
         if action == "status":
-            await conn.send(
-                {
-                    "type": "fleet",
-                    "seq": seq,
-                    "epoch": self.service.epoch,
-                    "migration": self.service.migration,
-                    "shards": self._shard_status(),
-                }
-            )
+            payload = {
+                "type": "fleet",
+                "seq": seq,
+                "epoch": self.service.epoch,
+                "migration": self.service.migration,
+                "shards": self._shard_status(),
+                "retrain_trigger": self.service.config.retrain_trigger,
+            }
+            if self.service.adaptive:
+                payload["drift"] = self.service.drift_status()
+            await conn.send(payload)
             return
         if self.draining:
             raise ProtocolError(protocol.ERR_DRAINING, "server is draining")

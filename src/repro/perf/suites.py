@@ -632,14 +632,94 @@ def suite_serve_ingest(smoke: bool = False) -> tuple[dict, dict]:
     return metrics, params
 
 
+# -- drift_adapt -------------------------------------------------------
+
+
+def suite_drift_adapt(
+    smoke: bool = False, scenario: str = "reconfiguration"
+) -> tuple[dict, dict]:
+    """Fixed-cadence vs drift-triggered retraining on a regime-change
+    scenario (:mod:`repro.raslog.scenarios`).
+
+    Unlike the throughput suites this one measures a *policy*, not a
+    code path: how many retrainings each trigger paid and what
+    post-shift recall each got back.  The workload is fully seeded, so
+    every number is machine-independent; the ratios are gated in CI and
+    the reconfiguration acceptance criteria — trigger within one
+    evaluation week of the shift, strictly fewer retrains at no recall
+    loss — are asserted right here, every run.
+    """
+    from repro.adapt.evaluate import compare_on_scenario
+
+    cmp = compare_on_scenario(scenario)
+    drift = cmp.adaptive.drift or {}
+
+    if scenario == "reconfiguration":
+        assert cmp.trigger_delay_weeks is not None, (
+            "adaptive trigger never fired after the reconfiguration"
+        )
+        assert cmp.trigger_delay_weeks <= 1, (
+            f"drift trigger took {cmp.trigger_delay_weeks} evaluation "
+            f"weeks; the acceptance bound is 1"
+        )
+        assert cmp.adaptive.n_retrains < cmp.fixed.n_retrains, (
+            f"adaptive performed {cmp.adaptive.n_retrains} retrains, "
+            f"fixed cadence only {cmp.fixed.n_retrains}"
+        )
+        assert (
+            cmp.adaptive.post_shift_recall >= cmp.fixed.post_shift_recall
+        ), (
+            f"adaptive post-shift recall {cmp.adaptive.post_shift_recall:.3f} "
+            f"below fixed {cmp.fixed.post_shift_recall:.3f}"
+        )
+
+    delay = (
+        float(cmp.trigger_delay_weeks)
+        if cmp.trigger_delay_weeks is not None
+        else float("nan")
+    )
+    metrics = {
+        "retrains_fixed": Metric(float(cmp.fixed.n_retrains), "count"),
+        "retrains_adaptive": Metric(float(cmp.adaptive.n_retrains), "count"),
+        "retrains_saved_ratio": Metric(cmp.retrains_saved_ratio, "ratio", True),
+        "trigger_delay_weeks": Metric(delay, "weeks"),
+        "post_shift_recall_fixed": Metric(
+            cmp.fixed.post_shift_recall, "ratio", True
+        ),
+        "post_shift_recall_adaptive": Metric(
+            cmp.adaptive.post_shift_recall, "ratio", True
+        ),
+        "recall_fixed": Metric(cmp.fixed.recall, "ratio", True),
+        "recall_adaptive": Metric(cmp.adaptive.recall, "ratio", True),
+        "drift_evaluations": Metric(
+            float(drift.get("evaluations", 0)), "count"
+        ),
+        "skipped_retrains": Metric(
+            float(drift.get("skipped_retrains", 0)), "count"
+        ),
+        "n_events": Metric(float(cmp.extras["n_events"]), "count"),
+        "n_fatal": Metric(float(cmp.extras["n_fatal"]), "count"),
+    }
+    params = {
+        "suite": "drift_adapt",
+        "smoke": smoke,
+        "scenario": scenario,
+        "shift_week": cmp.shift_week,
+        "scale": cmp.extras["scale"],
+        "seed": cmp.extras["seed"],
+    }
+    return metrics, params
+
+
 # -- registry ----------------------------------------------------------
 
-SUITES: dict[str, Callable[[bool], tuple[dict, dict]]] = {
+SUITES: dict[str, Callable[..., tuple[dict, dict]]] = {
     "predictor_feed": suite_predictor_feed,
     "service_throughput": suite_service_throughput,
     "journal_append": suite_journal_append,
     "preprocess_filter": suite_preprocess_filter,
     "serve_ingest": suite_serve_ingest,
+    "drift_adapt": suite_drift_adapt,
 }
 
 
@@ -648,15 +728,28 @@ def run_suite(
     smoke: bool = False,
     directory: "str | Path" = ".",
     timestamp: "str | None" = None,
+    scenario: "str | None" = None,
 ) -> tuple[Path, Mapping[str, Metric]]:
-    """Run one suite and append its run to ``BENCH_<name>.json``."""
+    """Run one suite and append its run to ``BENCH_<name>.json``.
+
+    ``scenario`` selects the regime-change trace for the scenario-driven
+    suites (currently ``drift_adapt``); passing it to any other suite is
+    an error.
+    """
     try:
         suite = SUITES[name]
     except KeyError:
         raise ValueError(
             f"unknown bench suite {name!r}; have {sorted(SUITES)}"
         ) from None
-    metrics, params = suite(smoke)
+    if scenario is not None:
+        if name != "drift_adapt":
+            raise ValueError(
+                f"suite {name!r} does not take a --scenario"
+            )
+        metrics, params = suite(smoke, scenario=scenario)
+    else:
+        metrics, params = suite(smoke)
     path = record_run(
         name, metrics, params, directory=directory, timestamp=timestamp
     )

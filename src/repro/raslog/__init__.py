@@ -34,12 +34,20 @@ from repro.raslog.profiles import (
     SystemProfile,
     get_profile,
 )
+from repro.raslog.scenarios import (
+    SCENARIO_SEED,
+    SCENARIOS,
+    ScenarioPack,
+    get_scenario,
+)
 from repro.raslog.store import EventLog
 
 __all__ = [
     "ANL_PROFILE",
     "FACILITIES",
     "PROFILES",
+    "SCENARIOS",
+    "SCENARIO_SEED",
     "SDSC_PROFILE",
     "TABLE3_COUNTS",
     "TOTAL_FATAL_TYPES",
@@ -57,6 +65,7 @@ __all__ = [
     "RASEvent",
     "Regime",
     "RegimeSchedule",
+    "ScenarioPack",
     "Severity",
     "SyntheticLog",
     "SystemProfile",
@@ -66,6 +75,7 @@ __all__ = [
     "format_line",
     "generate_log",
     "get_profile",
+    "get_scenario",
     "iter_lines",
     "load_log",
     "parse_line",

@@ -179,6 +179,14 @@ class LogGenerator:
         offset = int(rng.integers(per))
         return self._locations[(base + offset) % len(self._locations)]
 
+    def _maintenance_covers(self, week: int) -> bool:
+        """True when a maintenance window silences precursor reporting
+        in ``week`` (the failures themselves still occur and are logged)."""
+        return any(
+            a.kind == "maintenance" and a.covers(week)
+            for a in self.profile.anomalies
+        )
+
     # -- failure process ----------------------------------------------------
 
     def _fatal_arrivals(self, rng: np.random.Generator) -> np.ndarray:
@@ -273,6 +281,8 @@ class LogGenerator:
             draft.add(float(t), code, job_id, location)
             if rng.random() >= self.profile.precursor_fraction:
                 continue
+            if self._maintenance_covers(int(t // WEEK_SECONDS)):
+                continue
             regime = self.schedule.regime_at(int(t // WEEK_SECONDS))
             template = regime.template_for(code)
             if template is None:
@@ -347,6 +357,8 @@ class LogGenerator:
         if rate <= 0:
             return
         for week in range(self.profile.weeks):
+            if self._maintenance_covers(week):
+                continue
             templates = self.schedule.templates_at(week)
             pool = sorted({p for t in templates for p in t.precursors})
             if not pool:

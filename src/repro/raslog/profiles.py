@@ -85,8 +85,11 @@ class AnomalyWindow:
     """A period during which the system deviates from steady state.
 
     ``kind`` is ``"storm"`` (a burst of informational messages, like the
-    ANL diagnostics weeks) or ``"reconfig"`` (a system reconfiguration that
-    switches the failure-pattern regime, like SDSC around week 60–64).
+    ANL diagnostics weeks), ``"reconfig"`` (a system reconfiguration that
+    switches the failure-pattern regime, like SDSC around week 60–64), or
+    ``"maintenance"`` (a service window during which precursor reporting
+    is silenced — agents disabled, boards reseated — while the underlying
+    failures keep occurring, so association rules stop firing).
     """
 
     kind: str
@@ -97,7 +100,7 @@ class AnomalyWindow:
     facilities: tuple[Facility, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in ("storm", "reconfig"):
+        if self.kind not in ("storm", "reconfig", "maintenance"):
             raise ValueError(f"unknown anomaly kind {self.kind!r}")
         if self.end_week <= self.start_week:
             raise ValueError(

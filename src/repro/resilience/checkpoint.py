@@ -43,10 +43,12 @@ from repro.resilience.degrade import (
 
 CHECKPOINT_FORMAT = "repro-session-checkpoint"
 #: Version written by this build.  v2 added the ``journal`` field (the
-#: write-ahead-log position covered by the snapshot); v1 files — which
-#: simply predate the journal — are still readable.
-CHECKPOINT_VERSION = 2
-CHECKPOINT_READABLE_VERSIONS = (1, 2)
+#: write-ahead-log position covered by the snapshot); v3 added the
+#: ``adapt`` field (drift-detector and adaptive-retrain-policy state).
+#: Older files — which simply predate those subsystems — are still
+#: readable: a missing field means the feature was off or absent.
+CHECKPOINT_VERSION = 3
+CHECKPOINT_READABLE_VERSIONS = (1, 2, 3)
 
 
 class CheckpointError(ValueError):
@@ -129,8 +131,13 @@ def config_to_dict(config) -> dict[str, Any]:
 
     ``learner_params`` must be JSON-serializable (it is for every
     registry learner); exotic param objects make a config un-checkpointable.
+
+    The adaptive-retraining fields are emitted only when
+    ``retrain_trigger`` is not ``"fixed"``: with the fixed trigger they
+    are inert, and omitting them keeps the digest of every pre-existing
+    (fixed-cadence) checkpoint valid under this build.
     """
-    return {
+    data = {
         "prediction_window": config.prediction_window,
         "retrain_weeks": config.retrain_weeks,
         "policy": {
@@ -150,6 +157,18 @@ def config_to_dict(config) -> dict[str, Any]:
         "retrain_backoff_base": config.retrain_backoff_base,
         "retrain_backoff_cap": config.retrain_backoff_cap,
     }
+    if config.retrain_trigger != "fixed":
+        data["retrain_trigger"] = config.retrain_trigger
+        data["adapt"] = {
+            "mix_threshold": config.adapt_mix_threshold,
+            "gap_threshold": config.adapt_gap_threshold,
+            "rule_threshold": config.adapt_rule_threshold,
+            "cooldown_weeks": config.adapt_cooldown_weeks,
+            "max_interval_weeks": config.adapt_max_interval_weeks,
+            "window_events": config.adapt_window_events,
+            "hysteresis": config.adapt_hysteresis,
+        }
+    return data
 
 
 def config_from_dict(data: dict[str, Any]):
@@ -159,6 +178,9 @@ def config_from_dict(data: dict[str, Any]):
 
     data = dict(data)
     policy = data.pop("policy")
+    adapt = data.pop("adapt", None)
+    if adapt is not None:
+        data.update({f"adapt_{key}": value for key, value in adapt.items()})
     return FrameworkConfig(
         policy=TrainingPolicy(
             kind=policy["kind"], length_weeks=policy["length_weeks"]

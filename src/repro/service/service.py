@@ -433,6 +433,24 @@ class PredictionService:
         )
 
     @property
+    def adaptive(self) -> bool:
+        """Whether the fleet retrains on drift rather than a fixed cadence."""
+        return self.config.retrain_trigger == "adaptive"
+
+    def drift_status(self) -> dict[str, dict | None]:
+        """Per-shard drift-detector/policy state, keyed by shard.
+
+        Every value is None with the fixed trigger; with the adaptive
+        trigger each shard evaluates its own stream, so shards can sit
+        on different sides of a regime change at the same instant.
+        """
+        with self._lock:
+            return {
+                key: shard.session.drift_status()
+                for key, shard in self._shards.items()
+            }
+
+    @property
     def closed(self) -> bool:
         """True once :meth:`close` has run; streaming calls then raise."""
         return self._closed

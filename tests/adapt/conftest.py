@@ -1,0 +1,37 @@
+"""Shared helpers for the adaptive-retraining tests: a deterministic
+trace whose failure pattern flips wholesale at a known week."""
+
+from __future__ import annotations
+
+from repro.core.framework import FrameworkConfig
+from repro.utils.timeutil import WEEK_SECONDS
+from tests.conftest import make_log
+
+OLD_PATTERN = ("KERNEL-N-002", "KERNEL-N-003", "KERNEL-F-000")
+NEW_PATTERN = ("APP-N-001", "APP-N-002", "APP-F-000")
+
+
+def shift_log(weeks: int = 10, shift_week: int = 5):
+    """A -> B -> FATAL every three hours, with the whole pattern (codes
+    and fatal type alike) replaced at ``shift_week``."""
+    period = 10_800.0
+    specs = []
+    t = 600.0
+    while t + 120.0 < weeks * WEEK_SECONDS:
+        pattern = OLD_PATTERN if t < shift_week * WEEK_SECONDS else NEW_PATTERN
+        a, b, fatal = pattern
+        specs += [(t, a), (t + 60.0, b), (t + 120.0, fatal)]
+        t += period
+    return make_log(specs)
+
+
+def adaptive_config(**overrides) -> FrameworkConfig:
+    kwargs = dict(
+        initial_train_weeks=2,
+        retrain_trigger="adaptive",
+        adapt_cooldown_weeks=1,
+        # far beyond the trace: any non-initial trigger is a drift signal
+        adapt_max_interval_weeks=20,
+    )
+    kwargs.update(overrides)
+    return FrameworkConfig(**kwargs)

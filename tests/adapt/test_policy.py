@@ -1,0 +1,265 @@
+"""Unit tests for the adaptive retrain policy and the drift monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observe
+from repro.adapt.policy import (
+    CAUSE_INITIAL,
+    CAUSE_MAX_INTERVAL,
+    AdaptiveRetrainPolicy,
+    DriftMonitor,
+)
+from repro.alerts import FailureWarning
+from repro.core.framework import FrameworkConfig
+
+QUIET = {"event_mix": 0.0, "interarrival": 0.0, "rule_hit_rate": 0.0}
+
+
+def policy(**overrides):
+    kwargs = dict(
+        thresholds={"event_mix": 0.4, "interarrival": 0.4, "rule_hit_rate": 0.6},
+        cooldown_weeks=2,
+        max_interval_weeks=8,
+        hysteresis=0.6,
+    )
+    kwargs.update(overrides)
+    return AdaptiveRetrainPolicy(**kwargs)
+
+
+class TestPolicyValidation:
+    def test_needs_thresholds(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AdaptiveRetrainPolicy(thresholds={})
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError, match="threshold"):
+            policy(thresholds={"event_mix": 0.0})
+        with pytest.raises(ValueError, match="threshold"):
+            policy(thresholds={"event_mix": 1.5})
+
+    def test_cooldown_non_negative(self):
+        with pytest.raises(ValueError, match="cooldown_weeks"):
+            policy(cooldown_weeks=-1)
+
+    def test_max_interval_exceeds_cooldown(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            policy(cooldown_weeks=4, max_interval_weeks=4)
+
+    def test_hysteresis_bounds(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            policy(hysteresis=0.0)
+
+
+class TestPolicyDecisions:
+    def test_first_decision_is_initial_training(self):
+        p = policy()
+        decision = p.decide(2, QUIET)
+        assert decision.retrain and decision.cause == CAUSE_INITIAL
+        assert p.trigger_log == [(2, CAUSE_INITIAL)]
+
+    def test_quiet_weeks_skip(self):
+        p = policy()
+        p.retrained(2)
+        for week in range(3, 8):
+            assert not p.decide(week, QUIET).retrain
+        assert p.n_skipped == 5
+
+    def test_drift_over_threshold_triggers(self):
+        p = policy()
+        p.retrained(2)
+        decision = p.decide(5, {**QUIET, "event_mix": 0.5})
+        assert decision.retrain and decision.cause == "event_mix"
+
+    def test_cooldown_suppresses_drift(self):
+        p = policy(cooldown_weeks=3)
+        p.retrained(4)
+        hot = {**QUIET, "event_mix": 0.9}
+        assert not p.decide(5, hot).retrain
+        assert not p.decide(6, hot).retrain
+        assert p.decide(7, hot).retrain
+
+    def test_blames_detector_furthest_over_threshold(self):
+        p = policy()
+        p.retrained(0)
+        # rule_hit_rate is 1.5x its threshold, event_mix only 1.25x
+        decision = p.decide(4, {"event_mix": 0.5, "rule_hit_rate": 0.9})
+        assert decision.cause == "rule_hit_rate"
+
+    def test_hysteresis_prevents_thrash(self):
+        """A detector hovering at its threshold fires once, then stays
+        silent until its score falls below hysteresis x threshold."""
+        p = policy(cooldown_weeks=0)
+        p.retrained(0)
+        hover = {**QUIET, "event_mix": 0.41}
+        assert p.decide(1, hover).retrain
+        p.retrained(1)
+        # still hovering: disarmed, no second trigger despite cooldown=0
+        assert not p.decide(2, hover).retrain
+        assert not p.decide(3, hover).retrain
+        # falls below 0.6 * 0.4 = 0.24: re-arms (quietly)...
+        assert not p.decide(4, {**QUIET, "event_mix": 0.1}).retrain
+        # ...so the next excursion fires again
+        assert p.decide(5, hover).retrain
+
+    def test_max_interval_fires_on_quiet_stream(self):
+        p = policy(max_interval_weeks=8)
+        p.retrained(2)
+        for week in range(3, 10):
+            assert not p.decide(week, QUIET).retrain
+        decision = p.decide(10, QUIET)
+        assert decision.retrain and decision.cause == CAUSE_MAX_INTERVAL
+
+    def test_defer_records_without_triggering(self):
+        p = policy()
+        p.retrained(2)
+        decision = p.defer(5)
+        assert decision.deferred and not decision.retrain
+        assert p.n_deferred == 1
+        assert p.trigger_log == []
+
+    def test_failed_retraining_does_not_reset_clock(self):
+        """Only ``retrained()`` (a *successful* retraining) restarts the
+        cooldown; a trigger alone leaves the max-interval clock running."""
+        p = policy(max_interval_weeks=4)
+        p.retrained(2)
+        assert p.decide(6, QUIET).cause == CAUSE_MAX_INTERVAL
+        # no retrained() call (the attempt failed): next boundary fires again
+        assert p.decide(7, QUIET).cause == CAUSE_MAX_INTERVAL
+
+    def test_snapshot_round_trip(self):
+        p = policy(cooldown_weeks=0)
+        p.decide(2, QUIET)
+        p.retrained(2)
+        p.decide(3, QUIET)
+        p.decide(4, {**QUIET, "event_mix": 0.9})
+        p.defer(5)
+
+        q = policy(cooldown_weeks=0)
+        q.restore(p.snapshot())
+        assert q.last_retrain_week == p.last_retrain_week
+        assert q.trigger_log == p.trigger_log
+        assert (q.n_skipped, q.n_deferred) == (p.n_skipped, p.n_deferred)
+        assert q._armed == p._armed
+        # equal futures
+        assert (
+            q.decide(6, {**QUIET, "event_mix": 0.9}).retrain
+            == p.decide(6, {**QUIET, "event_mix": 0.9}).retrain
+        )
+
+
+class TestDriftMonitor:
+    def feed_baseline(self, monitor, t=0.0):
+        """Enough varied events + rule fires to arm every detector."""
+        for i in range(64):
+            t += 700.0
+            monitor.observe_event(f"old-{i % 8}", t, f"loc-{i % 4}")
+        monitor.observe_warnings(
+            [
+                FailureWarning(
+                    time=t,
+                    predicted="KERNEL-F-000",
+                    window=3600.0,
+                    rule_key=(f"rule-{i % 2}",),
+                    learner="association",
+                )
+                for i in range(12)
+            ]
+        )
+        return t
+
+    def test_initial_then_skip_then_drift(self):
+        # window of 64: the post-shift feed displaces the old mix fully
+        monitor = DriftMonitor(cooldown_weeks=0, window_events=64)
+        t = self.feed_baseline(monitor)
+        assert monitor.evaluate(2).cause == CAUSE_INITIAL
+        monitor.retrained(2)
+
+        t = self.feed_baseline(monitor, t)  # same regime: skip
+        assert not monitor.evaluate(3).retrain
+
+        for i in range(64):  # regime change: the code mix is rewritten
+            t += 700.0  # wider than the burst-collapse bucket
+            monitor.observe_event(f"new-{i % 8}", t, f"loc-{i % 4}")
+        decision = monitor.evaluate(4)
+        assert decision.retrain
+        assert decision.cause in ("event_mix", "interarrival")
+
+    def test_evaluate_emits_observe_series(self):
+        registry = observe.MetricsRegistry()
+        monitor = DriftMonitor()
+        with observe.use_registry(registry):
+            monitor.evaluate(2)
+            monitor.retrained(2)
+            monitor.evaluate(3)
+            monitor.evaluate(4, deferred=True)
+        assert registry.counter("adapt.evaluations").value == 3
+        assert registry.counter("adapt.triggers", cause=CAUSE_INITIAL).value == 1
+        assert registry.counter("adapt.skipped_retrains").value == 1
+        assert registry.counter("adapt.deferred").value == 1
+        assert registry.gauge("adapt.score", detector="event_mix").value == 0.0
+
+    def test_retrained_rebaselines_every_detector(self):
+        monitor = DriftMonitor()
+        self.feed_baseline(monitor)
+        monitor.evaluate(2)
+        monitor.retrained(2)
+        assert monitor.event_mix._baseline is not None
+        assert monitor.interarrival._baseline is not None
+        assert monitor.rule_hit_rate._ewma == {}  # rates restart from zero
+
+    def test_status_shape(self):
+        monitor = DriftMonitor()
+        monitor.evaluate(2)
+        monitor.retrained(2)
+        status = monitor.status()
+        assert set(status["scores"]) == {
+            "event_mix",
+            "interarrival",
+            "rule_hit_rate",
+        }
+        assert status["last_retrain_week"] == 2
+        assert status["evaluations"] == 1
+        assert status["triggers"] == [{"week": 2, "cause": CAUSE_INITIAL}]
+
+    def test_snapshot_round_trip_preserves_status_and_future(self):
+        monitor = DriftMonitor(cooldown_weeks=0)
+        t = self.feed_baseline(monitor)
+        monitor.evaluate(2)
+        monitor.retrained(2)
+        t = self.feed_baseline(monitor, t)
+        monitor.evaluate(3)
+
+        clone = DriftMonitor(cooldown_weeks=0)
+        clone.restore(monitor.snapshot())
+        assert clone.status() == monitor.status()
+        # identical evaluation on the same future stream
+        for m in (monitor, clone):
+            for i in range(64):
+                m.observe_event(f"new-{i % 8}", t + 60.0 * (i + 1), "loc")
+        ours, theirs = clone.evaluate(4), monitor.evaluate(4)
+        assert ours.scores == theirs.scores
+        assert ours.retrain == theirs.retrain and ours.cause == theirs.cause
+
+    def test_from_config_maps_every_knob(self):
+        config = FrameworkConfig(
+            retrain_trigger="adaptive",
+            adapt_mix_threshold=0.3,
+            adapt_gap_threshold=0.35,
+            adapt_rule_threshold=0.7,
+            adapt_cooldown_weeks=1,
+            adapt_max_interval_weeks=6,
+            adapt_window_events=64,
+            adapt_hysteresis=0.5,
+        )
+        monitor = DriftMonitor.from_config(config)
+        assert monitor.policy.thresholds == {
+            "event_mix": 0.3,
+            "interarrival": 0.35,
+            "rule_hit_rate": 0.7,
+        }
+        assert monitor.policy.cooldown_weeks == 1
+        assert monitor.policy.max_interval_weeks == 6
+        assert monitor.policy.hysteresis == 0.5
+        assert monitor.event_mix.window_events == 64

@@ -48,6 +48,15 @@ class TestRunSuite:
         with pytest.raises(ValueError, match="unknown bench suite"):
             run_suite("nope", directory=tmp_path)
 
+    def test_scenario_rejected_outside_drift_suite(self, tmp_path):
+        with pytest.raises(ValueError, match="does not take a --scenario"):
+            run_suite(
+                "journal_append",
+                smoke=True,
+                directory=tmp_path,
+                scenario="reconfiguration",
+            )
+
 
 class TestBenchVerb:
     def test_list(self, capsys):
@@ -75,3 +84,26 @@ class TestBenchVerb:
             ["bench", "--suite", "nope", "--out-dir", str(tmp_path)]
         )
         assert rc == 2
+
+    def test_scenario_with_other_suite_exits_2(self, tmp_path, capsys):
+        rc = main(
+            [
+                "bench",
+                "--suite",
+                "journal_append",
+                "--scenario",
+                "reconfiguration",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 2
+        assert "only applies to the drift_adapt" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_2(self, tmp_path, capsys):
+        rc = main(
+            ["bench", "--scenario", "nope", "--out-dir", str(tmp_path)]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "reconfiguration" in err

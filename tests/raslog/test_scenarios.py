@@ -1,0 +1,176 @@
+"""Tests for the named regime-change scenario packs.
+
+Pins the three properties the drift bench leans on: the registry is
+stable and misuse-proof, a pack's trace is identical for equal seeds —
+including across *processes*, since committed bench baselines assume it
+— and each pack's regime change does what its name says (wholesale
+template resample for ``reconfiguration``, precursor silence with
+failures continuing for ``maintenance_window``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.raslog.catalog import default_catalog
+from repro.raslog.drift import RegimeSchedule
+from repro.raslog.profiles import SDSC_PROFILE, AnomalyWindow
+from repro.raslog.scenarios import (
+    MAINTENANCE_WINDOW,
+    RECONFIGURATION,
+    SCENARIO_SEED,
+    SCENARIOS,
+    get_scenario,
+)
+from repro.utils.randoms import SeedSequencePool
+from repro.utils.timeutil import WEEK_SECONDS
+
+#: Small scale keeps generation fast while preserving every regime.
+SCALE = 0.3
+
+
+def trace_digest(syn) -> str:
+    """Stable content hash of a generated trace (events + ground truth)."""
+    h = hashlib.sha256()
+    for e in syn.clean:
+        h.update(f"{e.timestamp:.6f}|{e.entry_data}|{e.location}\n".encode())
+    for t, c in zip(syn.fatal_times, syn.fatal_codes):
+        h.update(f"fatal|{t:.6f}|{c}\n".encode())
+    h.update(repr(sorted(syn.precursor_backed)).encode())
+    return h.hexdigest()
+
+
+class TestRegistry:
+    def test_both_packs_registered(self):
+        assert set(SCENARIOS) == {"reconfiguration", "maintenance_window"}
+        assert SCENARIOS["reconfiguration"] is RECONFIGURATION
+        assert SCENARIOS["maintenance_window"] is MAINTENANCE_WINDOW
+
+    def test_get_scenario(self):
+        assert get_scenario("reconfiguration") is RECONFIGURATION
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="maintenance_window"):
+            get_scenario("nope")
+
+    def test_packs_pin_one_anomaly_at_shift_week(self):
+        for pack in SCENARIOS.values():
+            assert len(pack.profile.anomalies) == 1
+            anomaly = pack.profile.anomalies[0]
+            assert anomaly.start_week == pack.shift_week
+            assert pack.seed == SCENARIO_SEED
+            # the scheduled anomaly is the only regime change in range
+            assert pack.profile.drift_period_weeks > pack.profile.weeks
+
+
+class TestDeterminism:
+    def test_equal_seeds_identical_in_process(self):
+        a = RECONFIGURATION.generate(scale=SCALE)
+        b = RECONFIGURATION.generate(scale=SCALE)
+        assert trace_digest(a) == trace_digest(b)
+
+    def test_seed_override_changes_trace(self):
+        a = RECONFIGURATION.generate(scale=SCALE)
+        b = RECONFIGURATION.generate(scale=SCALE, seed=SCENARIO_SEED + 1)
+        assert trace_digest(a) != trace_digest(b)
+
+    def test_equal_seeds_identical_cross_process(self):
+        """The committed bench baseline assumes the scenario trace is
+        machine- and process-independent: a fresh interpreter must hash
+        the trace to the same digest as this one."""
+        ours = trace_digest(RECONFIGURATION.generate(scale=SCALE))
+        script = (
+            "import sys; sys.path.insert(0, 'src'); sys.path.insert(0, '.')\n"
+            "from repro.raslog.scenarios import RECONFIGURATION\n"
+            "from tests.raslog.test_scenarios import SCALE, trace_digest\n"
+            "print(trace_digest(RECONFIGURATION.generate(scale=SCALE)))\n"
+        )
+        theirs = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert theirs == ours
+
+
+def schedule_with_reconfig(seed, shift_week=9):
+    profile = dataclasses.replace(
+        SDSC_PROFILE,
+        weeks=20,
+        anomalies=(
+            AnomalyWindow(
+                kind="reconfig",
+                start_week=shift_week,
+                end_week=shift_week + 2,
+            ),
+        ),
+    )
+    return RegimeSchedule(profile, default_catalog(), SeedSequencePool(seed))
+
+
+class TestReconfigurationScenario:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reconfig_resamples_templates_wholesale(self, seed):
+        """Property: across seeds, the reconfig boundary replaces
+        (essentially) every chain template at conserved count, while
+        ordinary gradual drift keeps a majority — the regime change is
+        a jump, not a faster wobble."""
+        sched = schedule_with_reconfig(seed)
+        kept, added, removed = sched.template_churn(8, 10)
+        total = kept + removed
+        assert added == removed  # template count conserved
+        assert kept <= total // 10  # wholesale resample (chance overlaps)
+        kept_drift, _, _ = sched.template_churn(0, 8)
+        assert kept_drift > kept  # gradual drift is nothing like it
+
+    def test_pack_trace_has_single_shift(self):
+        syn = RECONFIGURATION.generate(scale=SCALE)
+        shift = RECONFIGURATION.shift_week
+        kept, added, removed = syn.schedule.template_churn(
+            shift - 1, shift + 1
+        )
+        assert kept == 0 and added == removed > 0
+        # no other regime boundary anywhere in the trace
+        pre = syn.schedule.template_churn(0, shift - 1)
+        post = syn.schedule.template_churn(
+            shift + 1, RECONFIGURATION.profile.weeks - 1
+        )
+        assert pre[1] == 0 and post[1] == 0
+
+
+class TestMaintenanceScenario:
+    @pytest.fixture(scope="class")
+    def syn(self):
+        return MAINTENANCE_WINDOW.generate(scale=SCALE)
+
+    def window_weeks(self):
+        anomaly = MAINTENANCE_WINDOW.profile.anomalies[0]
+        return range(anomaly.start_week, anomaly.end_week)
+
+    def test_no_precursor_backed_failures_in_window(self, syn):
+        backed_weeks = {
+            int(syn.fatal_times[i] // WEEK_SECONDS)
+            for i in syn.precursor_backed
+        }
+        assert backed_weeks.isdisjoint(self.window_weeks())
+        # silencing, not absence: backed failures exist on both sides
+        assert any(w < min(self.window_weeks()) for w in backed_weeks)
+        assert any(w > max(self.window_weeks()) for w in backed_weeks)
+
+    def test_failures_continue_through_window(self, syn):
+        fatal_weeks = {int(t // WEEK_SECONDS) for t in syn.fatal_times}
+        assert set(self.window_weeks()) <= fatal_weeks
+
+    def test_no_template_churn_at_window(self, syn):
+        """The trap scenario changes *reporting*, never the pattern."""
+        anomaly = MAINTENANCE_WINDOW.profile.anomalies[0]
+        _, added, removed = syn.schedule.template_churn(
+            anomaly.start_week - 1, anomaly.end_week + 1
+        )
+        assert added == removed == 0

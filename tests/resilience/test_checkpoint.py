@@ -254,9 +254,10 @@ class TestFileHardening:
         path = tmp_path / "session.ckpt"
         self.checkpointed(small_log, small_config, catalog, path)
         payload = json.loads(path.read_text())
-        assert payload["version"] == CHECKPOINT_VERSION == 2
+        assert payload["version"] == CHECKPOINT_VERSION == 3
         payload["version"] = 1
         del payload["journal"]
+        del payload["adapt"]
         path.write_text(json.dumps(payload))
         resumed = OnlinePredictionSession.resume(
             path, small_config, catalog=catalog

@@ -23,6 +23,7 @@ from repro.core.online import OnlinePredictionSession
 from repro.faults import FaultInjected, FaultPlan, JournalFault, LearnerCrash
 from repro.resilience import EventJournal
 from repro.utils.timeutil import WEEK_SECONDS
+from tests.adapt.conftest import shift_log
 from tests.resilience.conftest import pattern_log
 
 pytestmark = pytest.mark.chaos
@@ -37,9 +38,13 @@ SEGMENT_BYTES = 16_384
 EVENTS = list(pattern_log(8))
 
 
-def first_index_at(week: int) -> int:
+def first_index_at(week: int, events: list | None = None) -> int:
     boundary = week * WEEK_SECONDS
-    return next(i for i, e in enumerate(EVENTS) if e.timestamp >= boundary)
+    return next(
+        i
+        for i, e in enumerate(events if events is not None else EVENTS)
+        if e.timestamp >= boundary
+    )
 
 
 def sampled_kill_indices() -> list[int]:
@@ -61,15 +66,18 @@ def base_config(**overrides) -> FrameworkConfig:
     )
 
 
-def run_uninterrupted(config, catalog, plan=None):
+def run_uninterrupted(config, catalog, plan=None, events=None):
+    events = EVENTS if events is None else events
     session = OnlinePredictionSession(config, catalog=catalog)
     with faults.install(plan) if plan else nullcontext():
-        for event in EVENTS:
+        for event in events:
             session.ingest(event)
     return session
 
 
-def run_until_killed(config, catalog, workdir, kill, plan=None, torn=False):
+def run_until_killed(
+    config, catalog, workdir, kill, plan=None, torn=False, events=None
+):
     """Stream with journal+checkpoints and die at event index ``kill``.
 
     A clean kill stops before ingesting ``EVENTS[kill]``; a torn kill
@@ -77,6 +85,7 @@ def run_until_killed(config, catalog, workdir, kill, plan=None, torn=False):
     leaving a partial record on disk.  Either way nothing is flushed or
     checkpointed on the way out — exactly what a dead process leaves.
     """
+    events = EVENTS if events is None else events
     if torn:
         torn_fault = JournalFault(record=kill, mode="torn", keep_bytes=10)
         plan = plan or FaultPlan()
@@ -89,7 +98,7 @@ def run_until_killed(config, catalog, workdir, kill, plan=None, torn=False):
     )
     with faults.install(plan) if plan else nullcontext():
         try:
-            for i, event in enumerate(EVENTS):
+            for i, event in enumerate(events):
                 if not torn and i == kill:
                     break
                 session.ingest(event)
@@ -104,9 +113,10 @@ def run_until_killed(config, catalog, workdir, kill, plan=None, torn=False):
     journal.close()
 
 
-def recover_and_finish(config, catalog, workdir, plan=None):
+def recover_and_finish(config, catalog, workdir, plan=None, events=None):
     """Recover, then feed the rest of the stream from where the dead
     session left off; returns ``(session, n_ingested_at_recovery)``."""
+    events = EVENTS if events is None else events
     journal = EventJournal(
         workdir / "wal", fsync="never", segment_bytes=SEGMENT_BYTES
     )
@@ -115,7 +125,7 @@ def recover_and_finish(config, catalog, workdir, plan=None):
             workdir / "s.ckpt", journal, config, catalog=catalog
         )
         recovered_at = session.n_ingested
-        for event in EVENTS[recovered_at:]:
+        for event in events[recovered_at:]:
             session.ingest(event)
     journal.close()
     return session, recovered_at
@@ -227,6 +237,99 @@ class TestKillMidDegraded:
         assert [r.week for r in recovered.retrains] == [
             r.week for r in reference.retrains
         ]
+
+
+class TestKillAcrossDriftRetrainBoundary:
+    """The tentpole's durability promise: with the *adaptive* trigger,
+    kill-at-any-event-index recovery is still warning-for-warning
+    identical — including kills straddling a retraining that only
+    happened because the drift detectors fired.  The detector windows,
+    EWMA state and policy clock all rebuild from checkpoint v3 plus
+    journal replay; a divergence would show up as a shifted or missing
+    drift trigger in the recovered run."""
+
+    #: ten weeks with the failure pattern replaced wholesale at week 5
+    ADAPT_EVENTS = list(shift_log(weeks=10, shift_week=5))
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return base_config(
+            retrain_trigger="adaptive",
+            adapt_cooldown_weeks=1,
+            # beyond the trace: any non-initial trigger is drift-caused
+            adapt_max_interval_weeks=20,
+        )
+
+    @pytest.fixture(scope="class")
+    def reference(self, config, catalog):
+        session = run_uninterrupted(
+            config, catalog, events=self.ADAPT_EVENTS
+        )
+        triggers = session.drift_status()["triggers"]
+        # the run this suite kills *does* cross a drift-triggered
+        # retraining: initial training plus exactly one detector trigger
+        assert [t["cause"] for t in triggers][0] == "initial"
+        assert len(triggers) == 2
+        assert triggers[1]["cause"] not in ("initial", "max_interval")
+        assert [r.week for r in session.retrains] == [
+            2,
+            triggers[1]["week"],
+        ]
+        return session
+
+    def drift_kill_indices(self, reference):
+        """Kill points bracketing the drift-triggered retrain boundary,
+        plus one mid-accumulation (detectors digesting the new regime)
+        and one pre-first-checkpoint."""
+        drift_week = reference.retrains[-1].week
+        at = first_index_at(drift_week, self.ADAPT_EVENTS)
+        mid = first_index_at(drift_week - 1, self.ADAPT_EVENTS) + 3
+        return sorted({80, mid, at - 1, at, at + 2})
+
+    def test_drift_boundary_kills_recover_identically(
+        self, config, catalog, reference, tmp_path
+    ):
+        for kill in self.drift_kill_indices(reference):
+            workdir = tmp_path / f"kill-{kill}"
+            workdir.mkdir()
+            run_until_killed(
+                config,
+                catalog,
+                workdir,
+                kill,
+                events=self.ADAPT_EVENTS,
+            )
+            recovered, recovered_at = recover_and_finish(
+                config, catalog, workdir, events=self.ADAPT_EVENTS
+            )
+            assert recovered_at == kill
+            assert_equivalent(recovered, reference)
+            # the drift bookkeeping is bit-identical too: same scores,
+            # same trigger log, same evaluation/skip/defer counters
+            assert recovered.drift_status() == reference.drift_status()
+
+    def test_torn_record_at_drift_boundary(
+        self, config, catalog, reference, tmp_path
+    ):
+        """Die mid-append on the boundary-crossing event itself."""
+        kill = first_index_at(
+            reference.retrains[-1].week, self.ADAPT_EVENTS
+        )
+        run_until_killed(
+            config,
+            catalog,
+            tmp_path,
+            kill,
+            torn=True,
+            events=self.ADAPT_EVENTS,
+        )
+        recovered, recovered_at = recover_and_finish(
+            config, catalog, tmp_path, events=self.ADAPT_EVENTS
+        )
+        assert recovered.journal.n_torn_truncated == 1
+        assert recovered_at == kill
+        assert_equivalent(recovered, reference)
+        assert recovered.drift_status() == reference.drift_status()
 
 
 class TestBatchEquivalence:
