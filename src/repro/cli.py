@@ -28,6 +28,7 @@ frame protocol of :mod:`repro.net.protocol` (see ``docs/protocol.md``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from collections.abc import Sequence
@@ -258,6 +259,7 @@ def _sharding_requested(args: argparse.Namespace) -> bool:
         getattr(args, "shard_by", None)
         or getattr(args, "shards", None)
         or getattr(args, "fleet_dir", None)
+        or getattr(args, "backend", None)
     )
 
 
@@ -311,6 +313,7 @@ def _run_service(
             own_executor=True,
             origin=log.origin,
             journal_fsync=args.journal_fsync,
+            backend=args.backend,
         )
         skipped = {k: service.session(k).n_ingested for k in service.shard_keys}
         print(
@@ -330,6 +333,7 @@ def _run_service(
             fleet_dir=args.fleet_dir,
             journal_fsync=args.journal_fsync,
             retain_journals=args.retain_journals,
+            backend=args.backend,
         )
         skipped = {}
     every = args.checkpoint_every
@@ -466,10 +470,15 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 executor=make_executor(args.executor, args.workers),
                 own_executor=True,
                 origin=log.origin,
+                backend=args.backend,
             ) as service:
                 for event in log:
                     service.ingest(event)
                 service.flush()
+                # Snapshot through the service so worker-process series
+                # (subprocess backend) are folded in; inproc this is
+                # just the registry's own snapshot.
+                snapshot = service.merged_metrics()
                 summary = service.summary()
             n_retrains = summary.n_retrains
         else:
@@ -483,11 +492,12 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                     session.ingest(event)
                 summary = session.summary()
             n_retrains = len(summary.retrains)
-    text = registry.to_json(indent=args.indent)
+            snapshot = registry.snapshot()
+    text = json.dumps(snapshot, indent=args.indent, sort_keys=True)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
-        print(f"wrote {len(registry)} metrics to {args.output}")
+        print(f"wrote {len(snapshot)} metrics to {args.output}")
     else:
         print(text)
     print(
@@ -525,6 +535,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             own_executor=True,
             origin=args.origin,
             journal_fsync=args.journal_fsync,
+            backend=args.backend,
         )
         print(
             f"recovered fleet from {fleet_dir}: "
@@ -543,6 +554,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fleet_dir=fleet_dir,
             journal_fsync=args.journal_fsync,
             retain_journals=args.retain_journals,
+            backend=args.backend,
         )
     server = PredictionServer(
         service,
@@ -588,6 +600,8 @@ def _print_shard_table(shards: dict) -> None:
     for key in sorted(shards):
         h = shards[key]
         line = f"  {key}: {h['state']}"
+        if h.get("pid") is not None:
+            line += f" pid={h['pid']}"
         if h.get("restarts"):
             line += f" restarts={h['restarts']}"
         if h.get("last_error"):
@@ -627,6 +641,11 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
     print(
         f"fleet at {args.host}:{args.port}: epoch {status['epoch']}, "
         f"{len(status['shards'])} shard(s)"
+        + (
+            f", {status['backend']} backend"
+            if status.get("backend")
+            else ""
+        )
         + (f", migration in flight: {migration['kind']}" if migration else "")
         + (
             ", adaptive retraining"
@@ -907,6 +926,15 @@ def _add_sharding_options(
         metavar="N",
         help="hash-route locations into a fixed number of shards "
         "(crc32(location) %% N; implies sharding)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("inproc", "subprocess"),
+        help="shard placement: 'inproc' hosts every shard in this process "
+        "(default), 'subprocess' gives each shard a shared-nothing worker "
+        "process — true multi-core fleets at the cost of per-event IPC "
+        "(defaults to $REPRO_SERVICE_BACKEND, else inproc)",
     )
     if fleet:
         parser.add_argument(
@@ -1231,9 +1259,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         or getattr(args, "journal", None)
     ):
         parser.error(
-            "sharding options (--shard-by/--shards/--fleet-dir) cannot be "
-            "combined with single-session --checkpoint/--resume/--journal; "
-            "fleet durability lives under --fleet-dir"
+            "sharding options (--shard-by/--shards/--fleet-dir/--backend) "
+            "cannot be combined with single-session "
+            "--checkpoint/--resume/--journal; fleet durability lives under "
+            "--fleet-dir"
         )
     if args.command == "recover" and not getattr(args, "fleet_dir", None):
         if not (args.checkpoint and args.journal):

@@ -106,6 +106,34 @@ class ShardKill:
 
 
 @dataclass(frozen=True, slots=True)
+class WorkerKill:
+    """SIGKILL a live shard **worker process** when its ``at_count``-th
+    event is routed to it.
+
+    Unlike :class:`ShardKill` — which raises in the service's routing
+    path, modelling a crash *while accepting* the event — a WorkerKill
+    kills the worker out from under the service: under the subprocess
+    backend the worker process is sent a real ``SIGKILL``, and the
+    service only finds out when delivering the event fails (the command
+    pipe goes dead), surfacing as ``ShardDown``.  This exercises the
+    crash-*detection* machinery end to end, not just the mark-down
+    bookkeeping.  Under the inproc backend there is no process to kill;
+    the handle is flagged dead and the next delivery fails the same way.
+    Either way the killed event was never durable and must be
+    re-delivered after ``restore_shard``.
+    """
+
+    shard: str
+    at_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_count < 1:
+            raise ValueError(
+                f"at_count must be a positive ordinal, got {self.at_count}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
 class ReshardCrash:
     """Kill the process at a named live-resharding handoff step.
 
@@ -170,6 +198,7 @@ class FaultPlan:
     pool_breaks: list[PoolBreak] = field(default_factory=list)
     journal_faults: list[JournalFault] = field(default_factory=list)
     shard_kills: list[ShardKill] = field(default_factory=list)
+    worker_kills: list[WorkerKill] = field(default_factory=list)
     connection_drops: list[ConnectionDrop] = field(default_factory=list)
     reshard_crashes: list[ReshardCrash] = field(default_factory=list)
 
@@ -231,6 +260,48 @@ class FaultPlan:
             raise FaultInjected(
                 f"injected shard kill on {shard!r} at routed event {count}"
             )
+
+    def take_worker_kill(self, shard: str, count: int) -> bool:
+        """Hook: called by the service after :meth:`on_shard_event`.
+
+        Returns True exactly once per matching :class:`WorkerKill` —
+        the service then hard-kills the shard's worker and lets the
+        doomed delivery trip crash detection.  Re-delivery after
+        recovery sees a higher ordinal and the ``injected`` guard.
+        """
+        for kill in self.worker_kills:
+            record = f"worker:{shard}:{kill.at_count}"
+            if (
+                kill.shard != shard
+                or count != kill.at_count
+                or record in self.injected
+            ):
+                continue
+            self.injected.append(record)
+            return True
+        return False
+
+    def worker_plan(self) -> "FaultPlan | None":
+        """The session-level slice of this plan, for a shard worker.
+
+        Under the subprocess backend the shard's session stack runs in
+        another process, so faults that fire *inside* the stack —
+        learner crashes, pool breaks, journal faults — must be installed
+        there.  Service-level faults (shard/worker kills, reshard
+        crashes, connection drops) keep firing in the parent, which owns
+        routing.  Returns None when there is nothing to ship.  The
+        worker's ``injected`` records are piggybacked on command replies
+        and appended to the parent plan, so test assertions see them.
+        """
+        if not (
+            self.learner_crashes or self.pool_breaks or self.journal_faults
+        ):
+            return None
+        return FaultPlan(
+            learner_crashes=list(self.learner_crashes),
+            pool_breaks=list(self.pool_breaks),
+            journal_faults=list(self.journal_faults),
+        )
 
     def on_reshard_step(self, step: str) -> None:
         """Hook: called by the resharding engine after each handoff step.
@@ -320,6 +391,19 @@ def install(plan: FaultPlan) -> Iterator[FaultPlan]:
             _active = None
 
 
+def reset(plan: FaultPlan | None = None) -> None:
+    """Unconditionally (re)set the active plan — worker processes only.
+
+    A forked shard worker inherits the parent's installed plan; the
+    worker entry point calls this to drop it (or replace it with the
+    :meth:`FaultPlan.worker_plan` slice shipped in its spec) so parent-
+    side faults never double-fire inside the worker.
+    """
+    global _active
+    with _lock:
+        _active = plan
+
+
 __all__ = [
     "ConnectionDrop",
     "FaultInjected",
@@ -329,8 +413,10 @@ __all__ = [
     "PoolBreak",
     "ReshardCrash",
     "ShardKill",
+    "WorkerKill",
     "active",
     "corrupt_lines",
     "install",
     "jitter_timestamps",
+    "reset",
 ]

@@ -95,7 +95,13 @@ class _PooledExecutor(Executor):
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         if self.closed:
-            raise RuntimeError(f"{type(self).__name__} is closed")
+            # ExecutorBroken, not a bare RuntimeError: a broken pool is
+            # closed by the first holder that hits it, so every *other*
+            # session sharing the pool reaches this branch on its next
+            # retrain.  They must get the same typed error so the
+            # resilience layer's serial fallback engages — never a fresh
+            # nested pool per retrain.
+            raise ExecutorBroken(f"{type(self).__name__} is closed")
         from repro import faults
 
         try:
@@ -140,8 +146,14 @@ class ProcessExecutor(_PooledExecutor):
         self, fn: Callable[..., R], task_args: Sequence[tuple]
     ) -> list[R]:
         if self.closed:
-            raise RuntimeError(f"{type(self).__name__} is closed")
-        return list(self._pool.map(_Splat(fn), task_args))
+            raise ExecutorBroken(f"{type(self).__name__} is closed")
+        try:
+            return list(self._pool.map(_Splat(fn), task_args))
+        except BrokenExecutor as exc:
+            self.close()
+            raise ExecutorBroken(
+                f"{type(self).__name__} worker pool broke mid-map: {exc!r}"
+            ) from exc
 
 
 class _Splat:

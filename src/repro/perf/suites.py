@@ -50,6 +50,12 @@ JOURNAL_BATCH = 64
 #: ``repro serve`` default).
 DEFAULT_SERVE_BATCH = 64
 
+#: Batch size for the service suite's backend contrast.  Larger than
+#: the serve default: each fleet batch is one scatter/gather wave, and
+#: the wave must be wide enough that every worker gets a sub-batch
+#: worth more than a pipe round-trip.
+BACKEND_BATCH = 256
+
 
 def _timed(fn: Callable[[], Any]) -> tuple[Any, float]:
     start = time.perf_counter()
@@ -229,6 +235,36 @@ def suite_service_throughput(smoke: bool = False) -> tuple[dict, dict]:
     ingest = snapshot.get("online.ingest", {})
     retrain = snapshot.get("online.retrain", {})
 
+    # Backend contrast: the same batched workload through an in-process
+    # fleet and through shared-nothing worker processes.  Batched on
+    # both sides so the comparison isolates *placement* — ingest_batch
+    # scatters one sub-batch per shard before gathering, which is what
+    # lets subprocess workers mine concurrently.  Each run gets a
+    # throwaway registry so the fleet metrics above keep their meaning.
+    events = list(log)
+
+    def run_fleet_batched(backend: str) -> tuple[float, int, dict]:
+        with use_registry(MetricsRegistry()):
+            fleet = PredictionService(
+                config(), shards=n_shards, origin=log.origin, backend=backend
+            )
+            start = time.perf_counter()
+            for i in range(0, len(events), BACKEND_BATCH):
+                fleet.ingest_batch(events[i : i + BACKEND_BATCH])
+            fleet.flush()
+            elapsed = time.perf_counter() - start
+            warnings = {k: fleet.warnings(k) for k in fleet.shard_keys}
+            n_events = fleet.summary().n_events
+            fleet.close()
+        return elapsed, n_events, warnings
+
+    t_inproc, n_inproc, w_inproc = run_fleet_batched("inproc")
+    t_subproc, n_subproc, w_subproc = run_fleet_batched("subprocess")
+    assert n_inproc == n_subproc == len(log)
+    # Placement is a deployment knob, not a model change: the two
+    # backends must agree warning for warning.
+    assert w_subproc == w_inproc, "backend warning divergence"
+
     n = max(len(log), 1)
     metrics = {
         "events_per_sec_1_shard": Metric(n / t_single, "events/s", True),
@@ -236,6 +272,16 @@ def suite_service_throughput(smoke: bool = False) -> tuple[dict, dict]:
             n / t_fleet, "events/s", True
         ),
         "shard_scaling_ratio": Metric(t_single / t_fleet, "ratio", True),
+        "events_per_sec_batched_inproc": Metric(
+            n / t_inproc, "events/s", True
+        ),
+        "events_per_sec_batched_subprocess": Metric(
+            n / t_subproc, "events/s", True
+        ),
+        # >= 1 only with real cores to spread the workers over; on a
+        # single-CPU box the pipe hops make this < 1, which is why the
+        # CI floor for it is applied on multi-core runners only.
+        "subprocess_speedup": Metric(t_inproc / t_subproc, "ratio", True),
         "ingest_p50_us": Metric(ingest.get("p50", 0.0) * 1e6, "us"),
         "ingest_p99_us": Metric(ingest.get("p99", 0.0) * 1e6, "us"),
         "retrain_latency_s": Metric(retrain.get("mean", 0.0), "s"),
@@ -250,6 +296,10 @@ def suite_service_throughput(smoke: bool = False) -> tuple[dict, dict]:
         "train_weeks": train_weeks,
         "retrain_weeks": retrain_weeks,
         "n_shards": n_shards,
+        # Both backends are measured in one run; labeling them in the
+        # digest keeps old inproc-only baselines out of the comparison.
+        "backends": "inproc+subprocess",
+        "batch": BACKEND_BATCH,
         "seed": SUITE_SEED,
     }
     return metrics, params
@@ -543,6 +593,7 @@ def suite_serve_ingest(smoke: bool = False) -> tuple[dict, dict]:
     from repro.preprocess.pipeline import PreprocessingPipeline
     from repro.raslog.generator import GeneratorConfig, generate_log
     from repro.raslog.profiles import SDSC_PROFILE
+    from repro.service import make_backend
 
     scale, weeks, train_weeks, n_shards, n_producers = (
         (0.5, 8, 2, 2, 2) if smoke else (0.5, 12, 4, 4, 4)
@@ -627,6 +678,9 @@ def suite_serve_ingest(smoke: bool = False) -> tuple[dict, dict]:
         "n_producers": n_producers,
         "batch": DEFAULT_SERVE_BATCH,
         "durable": True,
+        # The fleets above use the env-selected default backend; the
+        # label keeps inproc and subprocess runs in separate baselines.
+        "backend": make_backend(None).name,
         "seed": SUITE_SEED,
     }
     return metrics, params

@@ -1,10 +1,13 @@
 """Multi-stream prediction service: shard the online pipeline by location.
 
-One process, N independent prediction streams.  The service routes each
-RAS event to a shard by a partition key (:mod:`repro.service.partition`),
-runs one layered session stack per shard over a shared executor pool, and
-owns a fleet-level checkpoint/journal directory so the whole fleet
-recovers crash-consistently (:mod:`repro.service.service`)::
+N independent prediction streams behind one router.  The service routes
+each RAS event to a shard by a partition key
+(:mod:`repro.service.partition`), places each shard through a pluggable
+:class:`~repro.service.backends.ShardBackend` — in-process session
+stacks over a shared executor pool by default, or one shared-nothing
+worker process per shard (``backend="subprocess"``) for true multi-core
+fleets — and owns a fleet-level checkpoint/journal directory so the
+whole fleet recovers crash-consistently (:mod:`repro.service.service`)::
 
     from repro.service import PredictionService
 
@@ -17,6 +20,13 @@ recovers crash-consistently (:mod:`repro.service.service`)::
     service = PredictionService.recover("fleet")
 """
 
+from repro.service.backends import (
+    InprocBackend,
+    ShardBackend,
+    ShardHandle,
+    SubprocessBackend,
+    make_backend,
+)
 from repro.service.partition import (
     FleetRouter,
     HashRouter,
@@ -38,14 +48,19 @@ __all__ = [
     "FleetRouter",
     "FleetSummary",
     "HashRouter",
+    "InprocBackend",
     "LocationRouter",
     "PredictionService",
     "ReshardError",
     "Router",
     "RoutingRule",
+    "ShardBackend",
     "ShardDown",
+    "ShardHandle",
     "ShardHealth",
     "ShardSupervisor",
+    "SubprocessBackend",
+    "make_backend",
     "make_router",
     "router_from_spec",
 ]

@@ -56,18 +56,12 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 from repro import faults, observe
-from repro.core.online import OnlinePredictionSession
-from repro.observe.wrappers import MeteredSession
 from repro.raslog.events import RASEvent
 from repro.resilience import checkpoint as ckpt
-from repro.resilience.journal import EventJournal, parse_fsync_policy
+from repro.resilience.journal import EventJournal
+from repro.service.backends import ShardHandle
 from repro.service.partition import RoutingRule, as_fleet
-from repro.service.service import (
-    CHECKPOINT_NAME,
-    JOURNAL_DIRNAME,
-    SHARD_META_NAME,
-    _Shard,
-)
+from repro.service.service import JOURNAL_DIRNAME, SHARD_META_NAME
 
 if TYPE_CHECKING:
     from repro.service.service import PredictionService
@@ -100,16 +94,14 @@ def _require_ready(service: "PredictionService") -> None:
 
 
 def _require_full_journal(service: "PredictionService", key: str) -> None:
-    shard = service._shards[key]
-    journal = shard.session.journal
-    if journal is None:
+    start = service._shards[key].journal_start_position()
+    if start is None:
         raise ReshardError(f"shard {key!r} has no journal to hand off")
-    if journal.start_position != 0:
+    if start != 0:
         raise ReshardError(
-            f"shard {key!r}'s journal starts at record "
-            f"{journal.start_position}, not 0 — its early history was "
-            f"compacted away; run the fleet with retain_journals=True to "
-            f"keep shards splittable/mergeable"
+            f"shard {key!r}'s journal starts at record {start}, not 0 — "
+            f"its early history was compacted away; run the fleet with "
+            f"retain_journals=True to keep shards splittable/mergeable"
         )
 
 
@@ -200,7 +192,9 @@ class _TargetBuild:
     key: str
     index: int
     directory: Path
-    session: OnlinePredictionSession
+    #: backend handle in build mode: journal fsync off, unmetered until
+    #: :meth:`~repro.service.backends.ShardHandle.finalize_build`
+    handle: ShardHandle
     #: True once the first event lands (unborn targets are discarded —
     #: a fleet born with this topology would create them lazily)
     born: bool = False
@@ -225,13 +219,13 @@ def _execute(
         service._write_manifest()
         _step("begin")
 
-    # Step 2: freeze the handoff substrate.  Sealed sources are marked
-    # down — if the process lives through the handoff they are replaced
-    # at commit; if it dies, recovery re-seals them.
+    # Step 2: freeze the handoff substrate.  Sealing closes each
+    # source's journal (a subprocess worker drains and exits here — its
+    # on-disk journal is what the build replays).  Sealed sources are
+    # marked down — if the process lives through the handoff they are
+    # replaced at commit; if it dies, recovery re-seals them.
     for key in sources:
-        journal = service._shards[key].session.journal
-        if journal is not None and not journal.closed:
-            journal.close()
+        service._shards[key].seal()
         service._down.add(key)
     _step("seal")
 
@@ -250,19 +244,8 @@ def _execute(
         service._shards.pop(key)
         service._down.discard(key)
     for build in targets:
-        session = build.session
-        service._shards[build.key] = _Shard(
-            key=build.key,
-            index=build.index,
-            session=session,
-            metered=MeteredSession(
-                session,
-                prefix="service",
-                degraded_of=session,
-                shard=build.key,
-            ),
-            directory=build.directory,
-        )
+        build.handle.routed = 0
+        service._shards[build.key] = build.handle
     service.epoch = migration["epoch"]
     service.migration = None
     service._next_index = max(
@@ -308,23 +291,16 @@ def _build_targets(
             directory / SHARD_META_NAME,
             {"key": key, "index": index, "epoch": migration["epoch"]},
         )
-        # Replay with fsync off — every record is still durable in the
-        # source journals until cleanup — then sync once and restore the
-        # fleet policy before the target goes live.
-        journal = EventJournal(
-            directory / JOURNAL_DIRNAME,
-            fsync="never",
-            retain=service.retain_journals,
-        )
-        session = OnlinePredictionSession(
-            service.config,
-            catalog=service.catalog,
-            executor=service._executor,
-            origin=service.origin,
-            journal=journal,
+        # Build mode: replay with journal fsync off — every record is
+        # still durable in the source journals until cleanup — and
+        # metering disabled; finalize_build() below syncs once, restores
+        # the fleet policy, and arms the meters before the target goes
+        # live.
+        handle = service._backend.create_shard(
+            key, index, directory, build=True
         )
         builds[key] = _TargetBuild(
-            key=key, index=index, directory=directory, session=session
+            key=key, index=index, directory=directory, handle=handle
         )
 
     plan = faults.active()
@@ -339,7 +315,7 @@ def _build_targets(
                 plan.on_shard_event(build.key, build.routed)
         else:
             build.routed += len(events)
-        build.session.ingest_batch(events)
+        build.handle.ingest_batch(events)
         build.born = True
 
     # Only one build ever holds a pending run: runs exist to group
@@ -361,14 +337,14 @@ def _build_targets(
                 current = None
             for build in builds.values():
                 if build.born:
-                    build.session.advance(record["now"])
+                    build.handle.advance(record["now"])
         elif kind == "flush":
             if current is not None:
                 flush_run(current)
                 current = None
             for build in builds.values():
                 if build.born:
-                    build.session.flush()
+                    build.handle.flush()
         else:
             raise ReshardError(f"unknown journal record kind {kind!r}")
     if current is not None:
@@ -376,15 +352,11 @@ def _build_targets(
 
     born: list[_TargetBuild] = []
     for build in builds.values():
-        journal = build.session.journal
-        assert journal is not None
         if not build.born:
-            journal.close()
+            build.handle.seal()
             shutil.rmtree(build.directory)
             continue
-        journal.sync()
-        journal.fsync_policy = parse_fsync_policy(service.journal_fsync)
-        build.session.checkpoint(build.directory / CHECKPOINT_NAME)
+        build.handle.finalize_build(service.journal_fsync)
         born.append(build)
     return born
 

@@ -2,16 +2,22 @@
 
 The paper predicts failures for one Blue Gene/L system; a fleet runs one
 prediction stream per machine/rack.  :class:`PredictionService` hosts N
-:class:`~repro.core.online.OnlinePredictionSession` stacks in one
-process, routes each event to its shard by a partition key (default: the
-event's location), and owns the fleet-level durability layout so the
-whole fleet checkpoints and recovers as a unit:
+:class:`~repro.core.online.OnlinePredictionSession` stacks, routes each
+event to its shard by a partition key (default: the event's location),
+and owns the fleet-level durability layout so the whole fleet
+checkpoints and recovers as a unit:
 
 * **routing** — a pure router (:mod:`repro.service.partition`) maps an
   event to a shard key; location routing creates shards lazily as new
   locations appear, hash routing folds locations into a fixed count;
-* **shared executor** — all shards retrain through one executor pool,
-  so a 64-shard fleet does not spawn 64 process pools;
+* **pluggable shard placement** — the service speaks to shards only
+  through :class:`~repro.service.backends.ShardHandle`.  The default
+  :class:`~repro.service.backends.InprocBackend` hosts every stack in
+  this process, sharing one retrain executor (so a 64-shard fleet does
+  not spawn 64 process pools); the
+  :class:`~repro.service.backends.SubprocessBackend` gives each shard a
+  shared-nothing worker process with its own core, journal, and
+  worker-local executor — N shards on N cores, no GIL contention;
 * **fleet durability** — under ``fleet_dir`` each shard gets its own
   subdirectory (write-ahead journal + checkpoint file + a tiny
   ``shard.json`` identity record), and :meth:`checkpoint` finishes by
@@ -50,14 +56,17 @@ from pathlib import Path
 from repro import faults, observe
 from repro.alerts import FailureWarning
 from repro.core.framework import FrameworkConfig
-from repro.core.online import OnlinePredictionSession
 from repro.core.session import SessionSummary
-from repro.observe.wrappers import MeteredSession
 from repro.parallel.executor import Executor
 from repro.raslog.catalog import EventCatalog, default_catalog
 from repro.raslog.events import RASEvent
 from repro.resilience import checkpoint as ckpt
-from repro.resilience.journal import EventJournal
+from repro.service.backends import (
+    ShardBackend,
+    ShardHandle,
+    WorkerCrashed,
+    make_backend,
+)
 from repro.service.partition import Router, make_router, router_from_spec
 
 MANIFEST_FORMAT = "repro-service-manifest"
@@ -109,19 +118,6 @@ def _slug(key: str) -> str:
     the index prefix, so lossy sanitization is fine)."""
     cleaned = re.sub(r"[^A-Za-z0-9._-]+", "_", key).strip("._-")
     return cleaned[:48] or "shard"
-
-
-@dataclass
-class _Shard:
-    """One prediction stream: key, session stack, and its disk home."""
-
-    key: str
-    index: int
-    session: OnlinePredictionSession
-    metered: MeteredSession
-    directory: Path | None = None
-    #: events routed to this shard in this process (fault-hook ordinal)
-    routed: int = 0
 
 
 @dataclass
@@ -189,9 +185,14 @@ class FleetSummary:
 class PredictionService:
     """Route a fleet's event stream to N independent session cores.
 
-    Every shard session shares ``executor`` (pass ``own_executor=True``
-    to have the service close it) and the service ``origin``, so shard
-    week boundaries stay aligned with the global stream.  With
+    ``backend`` decides where shards live: ``"inproc"`` (default) or
+    ``"subprocess"``, a :class:`~repro.service.backends.ShardBackend`
+    instance, or None to consult the ``REPRO_SERVICE_BACKEND``
+    environment variable.  Inproc, every shard session shares
+    ``executor`` (pass ``own_executor=True`` to have the service close
+    it); under the subprocess backend each worker builds its own and
+    ``executor`` is ignored.  All shards share the service ``origin``,
+    so shard week boundaries stay aligned with the global stream.  With
     ``fleet_dir`` set, each shard journals write-ahead and
     :meth:`checkpoint`/:meth:`recover` round-trip the whole fleet.
     """
@@ -210,6 +211,7 @@ class PredictionService:
         fleet_dir: str | Path | None = None,
         journal_fsync: str | int = "always",
         retain_journals: bool = False,
+        backend: str | ShardBackend | None = None,
     ) -> None:
         self.config = config or FrameworkConfig()
         self.catalog = catalog or default_catalog()
@@ -229,7 +231,9 @@ class PredictionService:
         self._next_index = 0
         self._executor = executor
         self._own_executor = own_executor and executor is not None
-        self._shards: dict[str, _Shard] = {}
+        self._backend = make_backend(backend)
+        self._backend.attach(self)
+        self._shards: dict[str, ShardHandle] = {}
         self._down: set[str] = set()
         self._closed = False
         # Serializes the streaming surface against close()/checkpoint()/
@@ -250,6 +254,11 @@ class PredictionService:
     # -- shard lifecycle ---------------------------------------------------
 
     @property
+    def backend(self) -> ShardBackend:
+        """The backend placing this fleet's shards."""
+        return self._backend
+
+    @property
     def shard_keys(self) -> list[str]:
         """Keys of all shards, in creation order."""
         return list(self._shards)
@@ -262,56 +271,43 @@ class PredictionService:
     @property
     def n_ingested(self) -> int:
         """Events accepted across the fleet (the resume/skip ledger)."""
-        return sum(s.session.n_ingested for s in self._shards.values())
+        return sum(s.n_ingested for s in self._shards.values())
 
-    def session(self, key: str) -> OnlinePredictionSession:
-        """The session currently serving shard ``key``."""
+    def session(self, key: str):
+        """The session view currently serving shard ``key``: the real
+        :class:`~repro.core.online.OnlinePredictionSession` inproc, an
+        RPC-backed read proxy under the subprocess backend."""
         return self._shards[key].session
+
+    def shard_pids(self) -> dict[str, int | None]:
+        """Worker pid per shard (None for in-process shards) — surfaced
+        in ``health``/``fleet status`` so operators can correlate a
+        shard with its OS process."""
+        return {key: shard.pid for key, shard in self._shards.items()}
 
     def _shard_dir(self, index: int, key: str) -> Path | None:
         if self.fleet_dir is None:
             return None
         return self.fleet_dir / SHARDS_DIRNAME / f"{index:03d}-{_slug(key)}"
 
-    def _make_shard(self, key: str) -> _Shard:
+    def _make_shard(self, key: str) -> ShardHandle:
         index = self._next_index
         self._next_index += 1
         directory = self._shard_dir(index, key)
-        journal = None
         if directory is not None:
             directory.mkdir(parents=True, exist_ok=True)
             ckpt.atomic_write_json(
                 directory / SHARD_META_NAME,
                 {"key": key, "index": index, "epoch": self.epoch},
             )
-            journal = EventJournal(
-                directory / JOURNAL_DIRNAME,
-                fsync=self.journal_fsync,
-                retain=self.retain_journals,
-            )
-        session = OnlinePredictionSession(
-            self.config,
-            catalog=self.catalog,
-            executor=self._executor,
-            origin=self.origin,
-            journal=journal,
-        )
-        shard = _Shard(
-            key=key,
-            index=index,
-            session=session,
-            metered=MeteredSession(
-                session, prefix="service", degraded_of=session, shard=key
-            ),
-            directory=directory,
-        )
+        shard = self._backend.create_shard(key, index, directory)
         self._shards[key] = shard
         if self.fleet_dir is not None:
             self._write_manifest()
         observe.gauge("service.shards").set(len(self._shards))
         return shard
 
-    def _shard_for(self, event: RASEvent) -> _Shard:
+    def _shard_for(self, event: RASEvent) -> ShardHandle:
         key = self.router.key(event)
         if key in self._down:
             raise ShardDown(key)
@@ -320,13 +316,35 @@ class PredictionService:
             shard = self._make_shard(key)
         return shard
 
-    def _mark_down(self, shard: _Shard) -> None:
-        """A shard process died: close its journal, keep serving the rest."""
+    def _mark_down(self, shard: ShardHandle) -> None:
+        """A shard died: seal what remains, keep serving the rest.
+
+        Sealing closes the shard's journal (and lets a still-live
+        subprocess worker exit cleanly); a worker that is already gone
+        seals as a no-op.  Idempotent per shard — the kill counter
+        records each death once."""
+        if shard.key in self._down:
+            return
         self._down.add(shard.key)
-        journal = shard.session.journal
-        if journal is not None:
-            journal.close()
+        shard.seal()
         observe.counter("service.shard_kills", shard=shard.key).inc()
+
+    def reap_workers(self) -> list[str]:
+        """Mark shards whose worker process has died down; returns them.
+
+        Crash detection is otherwise lazy (the next delivery to a dead
+        worker fails); the supervisor calls this at the top of each poll
+        so silent worker deaths feed its circuit breaker without waiting
+        for traffic.  In-process shards have no separate process to lose
+        and are never reaped here."""
+        with self._lock:
+            reaped = []
+            for key, shard in self._shards.items():
+                if key in self._down or shard.pid is None or shard.alive:
+                    continue
+                self._mark_down(shard)
+                reaped.append(key)
+            return reaped
 
     # -- streaming surface -------------------------------------------------
 
@@ -335,7 +353,10 @@ class PredictionService:
 
         A :class:`~repro.faults.FaultInjected` raised by the chaos hook
         (or from inside the shard's stack, e.g. a journal fault) marks
-        the shard down and propagates; other shards keep serving.
+        the shard down and propagates; other shards keep serving.  A
+        dead worker process (crashed, or SIGKILLed by a
+        :class:`~repro.faults.WorkerKill`) is detected here — the failed
+        delivery marks the shard down and raises :class:`ShardDown`.
         """
         with self._lock:
             self._require_open()
@@ -345,10 +366,15 @@ class PredictionService:
             try:
                 if plan is not None:
                     plan.on_shard_event(shard.key, shard.routed)
-                return shard.metered.ingest(event)
+                    if plan.take_worker_kill(shard.key, shard.routed):
+                        shard.kill()
+                return shard.ingest(event)
             except faults.FaultInjected:
                 self._mark_down(shard)
                 raise
+            except WorkerCrashed:
+                self._mark_down(shard)
+                raise ShardDown(shard.key) from None
 
     def ingest_batch(self, events: list[RASEvent]) -> list[FailureWarning]:
         """Route a batch of events; returns all new warnings.
@@ -357,7 +383,11 @@ class PredictionService:
         preserved, and each shard's sub-batch goes through its session's
         batched path (one group-commit journal fsync per shard instead
         of one per event) — this is what the serving front-end's
-        micro-batcher calls.
+        micro-batcher calls.  Delivery is scatter/gather: every shard's
+        sub-batch is begun before the first one's warnings are
+        collected, so under the subprocess backend all workers process
+        one batch wave — including any retrains it triggers —
+        concurrently.
 
         Routing is validated atomically up front: if *any* event targets
         a shard currently marked down, :class:`ShardDown` is raised
@@ -379,7 +409,8 @@ class PredictionService:
                 if key in self._down:
                     raise ShardDown(key)
             plan = faults.active()
-            new: list[FailureWarning] = []
+            begun: list[ShardHandle] = []
+            error: BaseException | None = None
             for key, batch in groups.items():
                 shard = self._shards.get(key)
                 if shard is None:
@@ -389,23 +420,55 @@ class PredictionService:
                         for event in batch:
                             shard.routed += 1
                             plan.on_shard_event(key, shard.routed)
+                            if plan.take_worker_kill(key, shard.routed):
+                                shard.kill()
                     else:
                         shard.routed += len(batch)
-                    new.extend(shard.metered.ingest_batch(batch))
-                except faults.FaultInjected:
+                    shard.ingest_batch_begin(batch)
+                except faults.FaultInjected as exc:
                     self._mark_down(shard)
-                    raise
+                    error = exc
+                    break
+                except WorkerCrashed:
+                    self._mark_down(shard)
+                    error = ShardDown(key)
+                    break
+                begun.append(shard)
+            # Gather every begun shard even on error: a pending reply
+            # left in a surviving worker's pipe would desync its next
+            # command.  The first error (scatter order, then gather
+            # order) propagates after the drain.
+            new: list[FailureWarning] = []
+            for shard in begun:
+                try:
+                    new.extend(shard.ingest_batch_finish())
+                except faults.FaultInjected as exc:
+                    self._mark_down(shard)
+                    error = error if error is not None else exc
+                except WorkerCrashed:
+                    self._mark_down(shard)
+                    error = (
+                        error if error is not None else ShardDown(shard.key)
+                    )
+            if error is not None:
+                raise error
             return new
 
     def advance(self, now: float) -> list[FailureWarning]:
-        """Move every live shard's clock (idle timer service)."""
+        """Move every live shard's clock (idle timer service).
+
+        A worker found dead here is marked down and skipped; the fleet
+        clock still advances everywhere else."""
         with self._lock:
             self._require_open()
             new: list[FailureWarning] = []
-            for shard in self._shards.values():
+            for shard in list(self._shards.values()):
                 if shard.key in self._down:
                     continue
-                new.extend(shard.metered.advance(now))
+                try:
+                    new.extend(shard.advance(now))
+                except WorkerCrashed:
+                    self._mark_down(shard)
             return new
 
     def flush(self) -> list[FailureWarning]:
@@ -413,24 +476,32 @@ class PredictionService:
         with self._lock:
             self._require_open()
             new: list[FailureWarning] = []
-            for shard in self._shards.values():
+            for shard in list(self._shards.values()):
                 if shard.key in self._down:
                     continue
-                new.extend(shard.metered.flush())
+                try:
+                    new.extend(shard.flush())
+                except WorkerCrashed:
+                    self._mark_down(shard)
             return new
 
     def warnings(self, key: str) -> list[FailureWarning]:
         """Warnings accumulated by shard ``key``."""
-        return self._shards[key].session.warnings
+        return self._shards[key].warnings()
 
     def summary(self) -> FleetSummary:
-        """Per-shard summaries plus fleet aggregates, keyed by shard."""
-        return FleetSummary(
-            shards={
-                key: shard.session.summary()
-                for key, shard in self._shards.items()
-            }
-        )
+        """Per-shard summaries plus fleet aggregates, keyed by shard.
+
+        A shard whose worker was hard-killed has no reachable state
+        until :meth:`restore_shard` and is omitted (gracefully sealed
+        shards still report their final snapshot)."""
+        shards: dict[str, SessionSummary] = {}
+        for key, shard in self._shards.items():
+            try:
+                shards[key] = shard.summary()
+            except WorkerCrashed:
+                continue
+        return FleetSummary(shards=shards)
 
     @property
     def adaptive(self) -> bool:
@@ -445,10 +516,29 @@ class PredictionService:
         on different sides of a regime change at the same instant.
         """
         with self._lock:
-            return {
-                key: shard.session.drift_status()
-                for key, shard in self._shards.items()
-            }
+            status: dict[str, dict | None] = {}
+            for key, shard in self._shards.items():
+                try:
+                    status[key] = shard.drift_status()
+                except WorkerCrashed:
+                    status[key] = None
+            return status
+
+    def merged_metrics(self) -> dict[str, dict]:
+        """Fleet-wide metrics view: the parent registry with every live
+        worker's private series folded in (counters sum, histograms
+        merge, gauges last-write).  A snapshot-shaped read-only view —
+        the parent registry itself is never mutated, so repeated calls
+        never double-count.  Inproc shards record directly into the
+        parent registry and contribute no extra dump."""
+        with self._lock:
+            dumps = []
+            for shard in self._shards.values():
+                try:
+                    dumps.append(shard.snapshot_metrics())
+                except WorkerCrashed:
+                    continue
+            return observe.get_registry().merged_snapshot(dumps)
 
     @property
     def closed(self) -> bool:
@@ -463,24 +553,25 @@ class PredictionService:
             )
 
     def close(self) -> None:
-        """Close every shard journal, then the executor if owned.
+        """Seal every shard, then the backend and owned executor.
 
-        Idempotent: a second close (e.g. the serve drain path and a
-        ``with`` block both reaching it) is a no-op, so shards are never
-        double-closed and the shared executor is released exactly once.
-        Close takes the service lock, so it serializes against an
-        in-flight ``ingest_batch`` from another thread: the batch either
-        fully applies (and its journal fds are still open while it does)
-        or the batch never started and raises the closed error.
+        Sealing closes each shard's journal (and, under the subprocess
+        backend, drains and joins its worker process).  Idempotent: a
+        second close (e.g. the serve drain path and a ``with`` block
+        both reaching it) is a no-op, so shards are never double-closed
+        and the shared executor is released exactly once.  Close takes
+        the service lock, so it serializes against an in-flight
+        ``ingest_batch`` from another thread: the batch either fully
+        applies (and its journal fds are still open while it does) or
+        the batch never started and raises the closed error.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             for shard in self._shards.values():
-                journal = shard.session.journal
-                if journal is not None:
-                    journal.close()
+                shard.close()
+            self._backend.close()
             if self._own_executor:
                 self._own_executor = False
                 assert self._executor is not None
@@ -516,8 +607,7 @@ class PredictionService:
             for shard in self._shards.values():
                 if shard.key in self._down:
                     continue
-                assert shard.directory is not None
-                shard.session.checkpoint(shard.directory / CHECKPOINT_NAME)
+                shard.checkpoint()
             manifest = self._write_manifest()
             observe.counter("service.checkpoints").inc()
             return manifest
@@ -558,62 +648,52 @@ class PredictionService:
         ckpt.atomic_write_json(fleet_dir / MANIFEST_NAME, manifest)
         return manifest
 
-    def restore_shard(self, key: str) -> OnlinePredictionSession:
+    def restore_shard(self, key: str):
         """Bring a down shard back from its checkpoint + journal.
 
-        The restored session has seen exactly the inputs the dead one
-        accepted (write-ahead journal replay past the checkpoint's
-        recorded position); the event whose delivery killed the shard
-        was never durable and must be re-delivered by the caller.
+        Under the subprocess backend this is a process respawn: the dead
+        worker's SIGKILLed corpse is reaped and a fresh worker recovers
+        from the shard directory.  Either way the restored session has
+        seen exactly the inputs the dead one accepted (write-ahead
+        journal replay past the checkpoint's recorded position); the
+        event whose delivery killed the shard was never durable and must
+        be re-delivered by the caller.  Returns the restored shard's
+        session view.
         """
         with self._lock:
             self._require_fleet_dir()
-            shard = self._shards[key]
-            if shard.directory is None:
+            old = self._shards[key]
+            if old.directory is None:
                 raise ValueError(
                     f"shard {key!r} has no directory to restore from"
                 )
-            session = OnlinePredictionSession.recover(
-                shard.directory / CHECKPOINT_NAME,
-                EventJournal(
-                    shard.directory / JOURNAL_DIRNAME,
-                    fsync=self.journal_fsync,
-                    retain=self.retain_journals,
-                ),
-                self.config,
-                catalog=self.catalog,
-                executor=self._executor,
-                origin=self.origin,
-            )
-            shard.session = session
-            shard.metered = MeteredSession(
-                session, prefix="service", degraded_of=session, shard=key
-            )
+            old.kill()
+            shard = self._backend.recover_shard(key, old.index, old.directory)
+            shard.routed = old.routed
+            self._shards[key] = shard
             self._down.discard(key)
             observe.counter("service.shard_recoveries", shard=key).inc()
-            return session
+            return shard.session
 
-    def restart_shard(self, key: str) -> OnlinePredictionSession:
+    def restart_shard(self, key: str):
         """Drain one shard to disk and bring it back from its own state.
 
-        The rolling-restart primitive: checkpoint the shard, close its
-        journal (a clean shutdown of just that shard), then recover it
-        through the same checkpoint+replay path a crash would use — so a
-        rolling restart proves, shard by shard, that the fleet's durable
-        state is sufficient to continue.  A shard already marked down
-        skips the drain (there is nothing live to drain) and goes
-        straight to recovery.
+        The rolling-restart primitive: checkpoint the shard, seal it (a
+        clean shutdown of just that shard — under the subprocess backend
+        the worker process exits), then recover it through the same
+        checkpoint+replay path a crash would use — so a rolling restart
+        proves, shard by shard, that the fleet's durable state is
+        sufficient to continue.  A shard already marked down skips the
+        drain (there is nothing live to drain) and goes straight to
+        recovery.  Returns the restarted shard's session view.
         """
         with self._lock:
             self._require_open()
             self._require_fleet_dir()
             shard = self._shards[key]
             if key not in self._down:
-                assert shard.directory is not None
-                shard.session.checkpoint(shard.directory / CHECKPOINT_NAME)
-                journal = shard.session.journal
-                if journal is not None:
-                    journal.close()
+                shard.checkpoint()
+                shard.seal()
                 self._down.add(key)
             session = self.restore_shard(key)
             observe.counter("service.rolling_restarts", shard=key).inc()
@@ -653,6 +733,7 @@ class PredictionService:
         own_executor: bool = False,
         origin: float | None = None,
         journal_fsync: str | int | None = None,
+        backend: "str | ShardBackend | None" = None,
     ) -> "PredictionService":
         """Crash-consistent recovery of the whole fleet.
 
@@ -730,6 +811,7 @@ class PredictionService:
                 journal_fsync if journal_fsync is not None else "always"
             ),
             retain_journals=retain_journals,
+            backend=backend,
         )
         service.fleet_dir = fleet_dir
         (fleet_dir / SHARDS_DIRNAME).mkdir(parents=True, exist_ok=True)
@@ -760,26 +842,8 @@ class PredictionService:
                 found.append((meta["index"], meta["key"], directory))
         found.sort()
         for index, key, directory in found:
-            session = OnlinePredictionSession.recover(
-                directory / CHECKPOINT_NAME,
-                EventJournal(
-                    directory / JOURNAL_DIRNAME,
-                    fsync=service.journal_fsync,
-                    retain=service.retain_journals,
-                ),
-                service.config,
-                catalog=service.catalog,
-                executor=executor,
-                origin=service.origin,
-            )
-            service._shards[key] = _Shard(
-                key=key,
-                index=index,
-                session=session,
-                metered=MeteredSession(
-                    session, prefix="service", degraded_of=session, shard=key
-                ),
-                directory=directory,
+            service._shards[key] = service._backend.recover_shard(
+                key, index, directory
             )
         if found:
             service._next_index = max(index for index, _, _ in found) + 1
@@ -808,3 +872,4 @@ __all__ = [
     "ShardDown",
     "_slug",
 ]
+

@@ -138,6 +138,22 @@ class TestSerialFallback:
         assert isinstance(meta.executor, SerialExecutor)
         assert registry.counter("meta.train.serial_fallback").value == 1
 
+    def test_sibling_sharing_closed_pool_falls_back_serial(self, catalog):
+        """When one session's break closes a *shared* pool, every other
+        session sharing it sees ``ExecutorBroken`` (not RuntimeError) on
+        its next retrain and degrades to serial — it must never respawn
+        a nested pool of its own."""
+        from tests.conftest import make_log
+
+        pool = ThreadExecutor(max_workers=1)
+        pool.close()  # as the first session to hit the break would
+        learner = _CountingLearner(catalog)
+        meta = MetaLearner([learner], catalog=catalog, executor=pool)
+        output = meta.train(make_log([(10.0, "KERNEL-N-000", {})]), 300.0)
+        assert learner.calls == 1
+        assert output.n_rules == 1
+        assert isinstance(meta.executor, SerialExecutor)
+
     def test_learner_bugs_still_propagate(self, catalog):
         class _Bug(BaseLearner):
             name = "bug"

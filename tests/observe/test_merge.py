@@ -1,0 +1,162 @@
+"""Unit tests for instrument and registry merging.
+
+The merge path is how shard worker processes report their private
+metric series back to the parent under the subprocess service backend,
+so these tests pin its arithmetic directly: counters sum, gauges
+last-write, histograms combine exact aggregates and resample the
+reservoir union, and label sets — not rendered names — decide which
+series collide.
+"""
+
+import pytest
+
+from repro.observe.metrics import Counter, Gauge, Histogram
+from repro.observe.registry import MetricsRegistry
+
+
+class TestCounterMerge:
+    def test_counts_sum(self):
+        a, b = Counter("events"), Counter("events")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b.dump())
+        assert a.value == 7.0
+
+    def test_merge_of_zero_is_noop(self):
+        a = Counter("events")
+        a.inc(2)
+        a.merge(Counter("events").dump())
+        assert a.value == 2.0
+
+
+class TestGaugeMerge:
+    def test_last_write_wins(self):
+        a, b = Gauge("depth"), Gauge("depth")
+        a.set(10)
+        b.set(3)
+        a.merge(b.dump())
+        assert a.value == 3.0
+
+
+class TestHistogramMerge:
+    def test_exact_aggregates_combine(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+        for v in (0.5, 9.0):
+            b.observe(v)
+        a.merge(b.dump())
+        assert a.count == 5
+        assert a.sum == pytest.approx(15.5)
+        snap = a.snapshot()
+        assert snap["min"] == 0.5
+        assert snap["max"] == 9.0
+
+    def test_small_reservoirs_concatenate(self):
+        # Union fits in capacity: the merge must keep every sample.
+        a, b = Histogram("lat", reservoir_size=16), Histogram(
+            "lat", reservoir_size=16
+        )
+        for v in (1.0, 2.0):
+            a.observe(v)
+        for v in (3.0, 4.0):
+            b.observe(v)
+        a.merge(b.dump())
+        assert sorted(a.dump()["reservoir"]) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_overfull_merge_resamples_to_capacity(self):
+        a, b = Histogram("lat", reservoir_size=8), Histogram(
+            "lat", reservoir_size=8
+        )
+        for i in range(50):
+            a.observe(float(i))
+            b.observe(float(100 + i))
+        a.merge(b.dump())
+        reservoir = a.dump()["reservoir"]
+        assert len(reservoir) == 8
+        # Every retained sample came from one of the union streams.
+        assert all(0 <= v < 50 or 100 <= v < 150 for v in reservoir)
+        assert a.count == 100
+
+    def test_merge_is_deterministic(self):
+        # The RNG is seeded from the instrument name, so the same merge
+        # performed twice keeps the same reservoir — worker metric
+        # reports stay reproducible run-to-run.
+        def merged():
+            a, b = Histogram("lat", reservoir_size=8), Histogram(
+                "lat", reservoir_size=8
+            )
+            for i in range(40):
+                a.observe(float(i))
+                b.observe(float(i) + 0.5)
+            a.merge(b.dump())
+            return a.dump()["reservoir"]
+
+        assert merged() == merged()
+
+    def test_empty_dump_is_noop(self):
+        a = Histogram("lat")
+        a.observe(2.0)
+        a.merge(Histogram("lat").dump())
+        assert a.count == 1
+        assert a.snapshot()["min"] == 2.0
+
+
+class TestRegistryMerge:
+    def test_matching_series_merge_by_type(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("service.events").inc(10)
+        worker.counter("service.events").inc(5)
+        worker.histogram("online.ingest").observe(0.25)
+        parent.merge(worker.dump())
+        snap = parent.snapshot()
+        assert snap["service.events"]["value"] == 15.0
+        # Series the parent never saw are created.
+        assert snap["online.ingest"]["count"] == 1
+
+    def test_label_sets_decide_collisions(self):
+        parent = MetricsRegistry()
+        parent.counter("service.events", shard="R00").inc(1)
+
+        worker_a, worker_b = MetricsRegistry(), MetricsRegistry()
+        # Same base name, same labels as the parent's series: must sum.
+        worker_a.counter("service.events", shard="R00").inc(2)
+        # Same base name, different label value: separate series.
+        worker_b.counter("service.events", shard="R01").inc(7)
+        parent.merge(worker_a.dump())
+        parent.merge(worker_b.dump())
+
+        snap = parent.snapshot()
+        assert snap['service.events{shard="R00"}']["value"] == 3.0
+        assert snap['service.events{shard="R01"}']["value"] == 7.0
+        assert snap['service.events{shard="R00"}']["labels"] == {
+            "shard": "R00"
+        }
+
+    def test_unknown_instrument_type_rejected(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            MetricsRegistry().merge(
+                [{"name": "x", "labels": {}, "type": "mystery"}]
+            )
+
+    def test_merged_snapshot_does_not_mutate(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("service.events").inc(1)
+        worker.counter("service.events").inc(41)
+        merged = parent.merged_snapshot([worker.dump()])
+        assert merged["service.events"]["value"] == 42.0
+        # The parent registry itself is a view source, never a sink.
+        assert parent.snapshot()["service.events"]["value"] == 1.0
+
+    def test_merged_snapshot_histogram_quantiles(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for v in range(10):
+            parent.histogram("online.ingest").observe(float(v))
+        for v in range(10, 20):
+            worker.histogram("online.ingest").observe(float(v))
+        merged = parent.merged_snapshot([worker.dump()])
+        series = merged["online.ingest"]
+        assert series["count"] == 20
+        assert series["min"] == 0.0
+        assert series["max"] == 19.0
+        assert 0.0 <= series["p50"] <= 19.0

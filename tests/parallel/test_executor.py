@@ -145,3 +145,19 @@ class TestBrokenPool:
         with ThreadExecutor(max_workers=2) as ex:
             with pytest.raises(KeyError, match="task bug"):
                 ex.map(boom, [1])
+
+    def test_closed_map_raises_executor_broken(self):
+        """A closed pool must surface as ExecutorBroken, not a bare
+        RuntimeError: sessions *sharing* a pool that a sibling closed
+        after a break need the typed error so their serial fallback
+        engages instead of crashing the retrain."""
+        ex = ThreadExecutor(max_workers=1)
+        ex.close()
+        with pytest.raises(ExecutorBroken, match="closed"):
+            ex.map(square, [1])
+
+    def test_closed_starmap_raises_executor_broken(self):
+        ex = ProcessExecutor(max_workers=1)
+        ex.close()
+        with pytest.raises(ExecutorBroken, match="closed"):
+            ex.starmap(add, [(1, 2)])
